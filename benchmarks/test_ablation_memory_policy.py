@@ -1,0 +1,93 @@
+"""Ablation — speculative-memory retention policy (§4).
+
+The paper keeps the greedy retention heuristic and notes the problem could
+be solved optimally; "the heuristic works sufficiently well in practice".
+We price that claim: replay realistic per-GPU task sequences (from a Hare
+schedule on the testbed) under the paper's greedy, a Belady
+(farthest-next-use) policy, and the exact DP optimum, comparing total
+transfer bytes — at the testbed's real 12-16 GB capacities *and* under an
+artificially constrained 6.5 GB budget where eviction pressure exists.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import render_table
+from repro.harness.experiments import make_loaded_workload, make_problem
+from repro.schedulers import HareScheduler
+from repro.switching import (
+    BeladyPolicy,
+    ModelFootprint,
+    OldestFirstPolicy,
+    evaluate_policy,
+    optimal_retention_cost,
+)
+from repro.workload import WorkloadConfig, model_spec
+
+CONSTRAINED_GB = 6.5
+
+
+def test_ablation_memory_policy(benchmark, report, testbed):
+    jobs = make_loaded_workload(
+        24, reference_gpus=15, load=2.0, seed=29,
+        config=WorkloadConfig(rounds_scale=0.08),
+    )
+    instance = make_problem(testbed, jobs)
+    plan = HareScheduler(relaxation="fluid").schedule(instance)
+    footprints = {
+        job.model: ModelFootprint(
+            weight_bytes=model_spec(job.model).model_bytes,
+            working_bytes=model_spec(job.model).training_memory_bytes(),
+        )
+        for job in jobs
+    }
+
+    def totals(capacity_of) -> tuple[float, float, float]:
+        greedy = belady = optimal = 0.0
+        for gpu, seq in plan.gpu_sequences().items():
+            models = [instance.jobs[a.task.job_id].model for a in seq]
+            cap = capacity_of(gpu)
+            if len(models) < 2:
+                continue
+            if max(footprints[m].working_bytes for m in models) > cap:
+                continue
+            greedy += evaluate_policy(
+                models, footprints, cap, OldestFirstPolicy()
+            ).transfer_bytes
+            belady += evaluate_policy(
+                models, footprints, cap, BeladyPolicy(models)
+            ).transfer_bytes
+            optimal += optimal_retention_cost(models, footprints, cap)
+        return greedy, belady, optimal
+
+    def run():
+        real = totals(lambda g: testbed.device(g).spec.memory_bytes)
+        tight = totals(lambda g: CONSTRAINED_GB * 1e9)
+        return real, tight
+
+    real, tight = run_once(benchmark, run)
+    rows = []
+    for label, (g, b, o) in (
+        ("testbed capacity (12-16 GB)", real),
+        (f"constrained ({CONSTRAINED_GB} GB)", tight),
+    ):
+        rows.append([label, "paper greedy", g / 1e9, g / o])
+        rows.append([label, "Belady", b / 1e9, b / o])
+        rows.append([label, "optimal DP", o / 1e9, 1.0])
+    report(
+        render_table(
+            ["capacity", "retention policy", "transfer GB", "vs optimal"],
+            rows,
+            title="Ablation — speculative-memory retention policy",
+            float_fmt="{:.3f}",
+        )
+    )
+
+    # At real capacities the greedy is literally optimal — the paper's
+    # "works sufficiently well in practice" claim.
+    g, b, o = real
+    assert g <= 1.001 * o and b <= 1.001 * o
+    # Under pressure, Belady ≈ optimal while greedy pays a visible premium
+    # yet stays within 25% of optimal.
+    g, b, o = tight
+    assert o <= b + 1e-6 and o <= g + 1e-6
+    assert b <= 1.02 * o
+    assert 1.005 * o <= g <= 1.25 * o

@@ -1,0 +1,73 @@
+"""Ablation — §4's two mechanisms: early cleaning and speculative memory.
+
+Replays one Hare plan under: DEFAULT switching, PIPESWITCH, HARE without
+speculative memory (early cleaning only), and full HARE. Reports total
+switch time, retention hits and the realized weighted JCT.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster import scaled_cluster
+from repro.core import SwitchMode
+from repro.harness import render_table
+from repro.harness.experiments import make_loaded_workload, make_problem
+from repro.schedulers import HareScheduler
+from repro.sim import simulate_plan
+from repro.workload import WorkloadConfig
+
+
+def test_ablation_switching(benchmark, report):
+    cluster = scaled_cluster(8)
+    jobs = make_loaded_workload(
+        16, reference_gpus=8, load=2.0, seed=31,
+        config=WorkloadConfig(rounds_scale=0.1),
+    )
+    instance = make_problem(cluster, jobs)
+    plan = HareScheduler(relaxation="fluid").schedule(instance)
+
+    def run():
+        out = {}
+        out["default"] = simulate_plan(
+            cluster, instance, plan, switch_mode=SwitchMode.DEFAULT
+        )
+        out["pipeswitch"] = simulate_plan(
+            cluster, instance, plan, switch_mode=SwitchMode.PIPESWITCH
+        )
+        out["hare w/o spec. memory"] = simulate_plan(
+            cluster, instance, plan, switch_mode=SwitchMode.HARE,
+            retention_enabled=False,
+        )
+        out["hare (full)"] = simulate_plan(
+            cluster, instance, plan, switch_mode=SwitchMode.HARE
+        )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [
+            label,
+            r.telemetry.total_switch_time(),
+            r.telemetry.retention_hits,
+            r.total_weighted_completion,
+        ]
+        for label, r in results.items()
+    ]
+    report(
+        render_table(
+            ["mode", "total switch time (s)", "retention hits", "wJCT"],
+            rows,
+            title="Ablation — switching mechanisms (same plan replayed)",
+            float_fmt="{:.2f}",
+        )
+    )
+
+    sw = {k: r.telemetry.total_switch_time() for k, r in results.items()}
+    # each mechanism strictly reduces switch time
+    assert sw["default"] > 10 * sw["pipeswitch"]
+    assert sw["pipeswitch"] > sw["hare w/o spec. memory"]
+    assert sw["hare w/o spec. memory"] >= sw["hare (full)"]
+    # speculative memory produces hits only in the full configuration
+    assert results["hare (full)"].telemetry.retention_hits > 0
+    assert results["hare w/o spec. memory"].telemetry.retention_hits == 0
+    # and realized JCT improves in the same order
+    jct = {k: r.total_weighted_completion for k, r in results.items()}
+    assert jct["hare (full)"] <= jct["pipeswitch"] <= jct["default"]

@@ -1,0 +1,66 @@
+"""Extension — NIC sharing between colocated GPUs.
+
+The paper's formulation charges each task an independent ``T^s``; real
+machines pack 4 GPUs behind one NIC (the testbed's EC2 instances do), so
+simultaneous gradient syncs contend. This bench replays one Hare plan with
+the DES's NIC-contention model on and off, across machine densities
+(1/4/8 GPUs per node), quantifying how much the independent-sync
+simplification hides.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster import TESTBED_MIX, make_cluster
+from repro.harness import render_table
+from repro.harness.experiments import make_loaded_workload
+from repro.schedulers import HareScheduler
+from repro.sim import simulate_plan
+from repro.workload import WorkloadConfig, build_instance
+
+DENSITIES = (1, 4, 8)
+
+
+def test_ext_nic_contention(benchmark, report):
+    jobs = make_loaded_workload(
+        24, reference_gpus=15, load=1.8, seed=53,
+        config=WorkloadConfig(rounds_scale=0.1),
+    )
+
+    def run():
+        rows = []
+        for density in DENSITIES:
+            cluster = make_cluster(TESTBED_MIX, gpus_per_node=density)
+            instance = build_instance(jobs, cluster)
+            plan = HareScheduler(relaxation="fluid").schedule(instance)
+            off = simulate_plan(
+                cluster, instance, plan, nic_contention=False
+            )
+            on = simulate_plan(cluster, instance, plan, nic_contention=True)
+            rows.append(
+                (
+                    density,
+                    off.metrics.total_weighted_flow,
+                    on.metrics.total_weighted_flow,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    report(
+        render_table(
+            ["GPUs/node", "wJCT (independent syncs)", "wJCT (NIC shared)",
+             "inflation"],
+            [[d, off, on, on / off] for d, off, on in rows],
+            title="Extension — NIC contention vs machine density (15 GPUs)",
+            float_fmt="{:.2f}",
+        )
+    )
+
+    # one GPU per node: no contention possible
+    d1 = rows[0]
+    assert d1[2] == d1[1]
+    # denser machines contend more (monotone inflation)
+    inflations = [on / off for _, off, on in rows]
+    assert inflations[0] <= inflations[1] <= inflations[2] + 1e-9
+    # at the testbed's density the independent-sync simplification hides
+    # only a modest gap (sync ≪ compute for the calibrated workload)
+    assert inflations[1] < 1.25

@@ -1,0 +1,78 @@
+"""Extension — fine-grained scheduling *needs* fast switching (§2.2.4, §8).
+
+Two claims are measured together:
+
+1. §8: time-sliced schedulers (Gandiva/Gavel mode) are coarse-grained and
+   leave performance on the table — Hare's task-level plan beats the
+   quantum-based plan even when both enjoy Hare's fast switching.
+2. §2.2.4: Hare's fine-grained plans produce *frequent* cross-job
+   switching, so under DEFAULT switching they collapse — far worse than
+   the coarse plan, which amortizes one switch per quantum. Fast task
+   switching is what makes fine-grained scheduling viable at all.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster import scaled_cluster
+from repro.core import SwitchMode
+from repro.harness import render_table
+from repro.harness.experiments import make_loaded_workload, make_problem
+from repro.schedulers import HareScheduler, TimeSliceScheduler
+from repro.sim import simulate_plan
+from repro.workload import WorkloadConfig
+
+
+def test_ext_timeslice(benchmark, report):
+    cluster = scaled_cluster(16)
+    jobs = make_loaded_workload(
+        30, reference_gpus=16, load=2.0, seed=4,
+        config=WorkloadConfig(rounds_scale=0.2),
+    )
+    instance = make_problem(cluster, jobs)
+
+    def run():
+        hare_plan = HareScheduler(relaxation="fluid").schedule(instance)
+        ts_plan = TimeSliceScheduler(quantum_s=10.0).schedule(instance)
+        out = {}
+        for label, plan in (("Hare", hare_plan), ("Gavel_TS", ts_plan)):
+            for mode in (SwitchMode.HARE, SwitchMode.DEFAULT):
+                res = simulate_plan(
+                    cluster, instance, plan, switch_mode=mode
+                )
+                out[(label, mode)] = (
+                    res.metrics.total_weighted_flow,
+                    res.telemetry.switch_count,
+                    res.telemetry.total_switch_time(),
+                )
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [label, mode.value, *vals]
+        for (label, mode), vals in results.items()
+    ]
+    report(
+        render_table(
+            ["plan", "switching", "weighted JCT", "switches",
+             "switch time (s)"],
+            rows,
+            title="Extension — plan granularity x switching implementation",
+            float_fmt="{:.1f}",
+        )
+    )
+
+    hare_fast = results[("Hare", SwitchMode.HARE)][0]
+    hare_slow = results[("Hare", SwitchMode.DEFAULT)][0]
+    ts_fast = results[("Gavel_TS", SwitchMode.HARE)][0]
+    ts_slow = results[("Gavel_TS", SwitchMode.DEFAULT)][0]
+
+    # (1) with fast switching, fine-grained beats coarse time slicing
+    assert hare_fast < 0.7 * ts_fast
+    # (2) without fast switching, the fine-grained plan collapses —
+    # it degrades far more than the coarse plan does
+    assert hare_slow / hare_fast > 5.0
+    assert (hare_slow / hare_fast) > 3.0 * (ts_slow / ts_fast)
+    # and Hare's plan indeed switches much more often
+    assert (
+        results[("Hare", SwitchMode.HARE)][1]
+        > 2 * results[("Gavel_TS", SwitchMode.HARE)][1]
+    )

@@ -1,0 +1,38 @@
+"""Fig. 2 — training speedup of each model on M60/T4/V100 relative to K80.
+
+Paper shape: compute-bound models scale hard with GPU generation (ResNet50
+≈2x on T4, ≈7x on V100) while graph models cap around 2x even on a V100
+because the input pipeline, not the GPU, is the bottleneck.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import GPUModel, ModelName
+from repro.harness import render_table
+from repro.workload import speedup_table
+
+GPUS = (GPUModel.M60, GPUModel.T4, GPUModel.V100)
+
+
+def test_fig02_speedup(benchmark, report):
+    table = run_once(benchmark, speedup_table)
+    rows = [
+        [name.value, *(table[name][g] for g in GPUS)] for name in ModelName
+    ]
+    report(
+        render_table(
+            ["model", "M60", "T4", "V100"],
+            rows,
+            title="Fig. 2 — speedup over K80",
+            float_fmt="{:.2f}",
+        )
+    )
+
+    # ResNet50: ≈2x on T4 and ≈7x on V100.
+    assert abs(table[ModelName.RESNET50][GPUModel.T4] - 2.0) < 0.3
+    assert abs(table[ModelName.RESNET50][GPUModel.V100] - 7.0) < 0.7
+    # GraphSAGE caps around 2x even on the V100.
+    assert table[ModelName.GRAPHSAGE][GPUModel.V100] < 2.5
+    # every model: V100 ≥ T4 ≥ M60 ≥ 1 (K80 baseline)
+    for name in ModelName:
+        row = table[name]
+        assert row[GPUModel.V100] >= row[GPUModel.T4] >= row[GPUModel.M60] >= 1.0

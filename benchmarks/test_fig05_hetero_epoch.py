@@ -1,0 +1,59 @@
+"""Fig. 5 — epoch time of a large CNN under different GPU combinations.
+
+Paper: training ResNet152 on mixed clusters shows that adding *faster* GPUs
+to a slow gang brings no speedup — the round barrier waits for the slowest
+device, so (K80 + V100) epochs take as long as pure-K80 epochs. We use
+VGG19 as the large compute-bound CNN stand-in (ResNet152 is not in the
+Table 2 zoo; the straggler effect is architecture-independent — see
+EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster import NetworkConfig, gpu_spec
+from repro.core import GPUModel
+from repro.harness import render_table
+from repro.workload import batch_time, model_spec
+
+COMBOS = {
+    "4 x K80": [GPUModel.K80] * 4,
+    "2 x K80 + 2 x T4": [GPUModel.K80] * 2 + [GPUModel.T4] * 2,
+    "2 x K80 + 2 x V100": [GPUModel.K80] * 2 + [GPUModel.V100] * 2,
+    "4 x T4": [GPUModel.T4] * 4,
+    "4 x V100": [GPUModel.V100] * 4,
+}
+
+MODEL = "VGG19"
+
+
+def epoch_time(gpus: list[GPUModel]) -> float:
+    """Strict data-parallel epoch: rounds x straggler round time."""
+    spec = model_spec(MODEL)
+    net = NetworkConfig()
+    round_time = max(
+        batch_time(MODEL, g)
+        + net.sync_time(spec.model_bytes, gpu_spec(g).pcie_bandwidth)
+        for g in gpus
+    )
+    rounds_per_epoch = spec.batches_per_epoch / len(gpus)
+    return rounds_per_epoch * round_time
+
+
+def test_fig05_hetero_epoch(benchmark, report):
+    results = run_once(
+        benchmark, lambda: {name: epoch_time(g) for name, g in COMBOS.items()}
+    )
+    report(
+        render_table(
+            ["cluster", "epoch time (s)"],
+            [[k, v] for k, v in results.items()],
+            title=f"Fig. 5 — {MODEL} epoch time by GPU combination",
+            float_fmt="{:.1f}",
+        )
+    )
+
+    # Mixing fast GPUs into a K80 gang brings (almost) no speedup…
+    assert results["2 x K80 + 2 x V100"] > 0.95 * results["4 x K80"]
+    assert results["2 x K80 + 2 x T4"] > 0.95 * results["4 x K80"]
+    # …while homogeneous fast clusters are much faster.
+    assert results["4 x V100"] < 0.3 * results["4 x K80"]
+    assert results["4 x T4"] < results["4 x K80"]

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Why Hare keeps the scale-fixed guarantee (§2.2.3): a convergence study.
+
+Trains a logistic-regression model with a synchronous parameter server
+under the three synchronization schemes and shows:
+
+* relaxed scale-fixed is **bit-identical** to strict scale-fixed — the same
+  gradients reach the PS each round, no matter how tasks pack onto GPUs;
+* scale-adaptive training depends on the cluster's free-GPU trajectory, so
+  the rounds needed to reach a target loss become unpredictable.
+
+Run:  python examples/convergence_study.py
+"""
+
+import numpy as np
+
+from repro.core import SyncScheme
+from repro.dml import LogisticRegression, make_classification, train
+from repro.harness import render_table
+
+
+def main() -> None:
+    data = make_classification(num_samples=2048, num_features=16, seed=0)
+    model = LogisticRegression(num_features=16)
+    kw = dict(
+        sync_scale=4, batch_size=32, num_rounds=200,
+        learning_rate=0.4, seed=3,
+    )
+
+    strict = train(model, data, scheme=SyncScheme.SCALE_FIXED, **kw)
+    relaxed = train(model, data, scheme=SyncScheme.RELAXED_SCALE_FIXED, **kw)
+
+    identical = np.array_equal(strict.params, relaxed.params)
+    print(
+        "strict vs relaxed scale-fixed: parameters bit-identical ="
+        f" {identical}\n"
+    )
+
+    target = float(strict.losses[:5].mean() * 0.7)
+    rows = [
+        [
+            "scale-fixed",
+            strict.final_loss,
+            strict.rounds_to_loss(target),
+            model.accuracy(strict.params, data.x, data.y),
+        ],
+        [
+            "relaxed scale-fixed",
+            relaxed.final_loss,
+            relaxed.rounds_to_loss(target),
+            model.accuracy(relaxed.params, data.x, data.y),
+        ],
+    ]
+    # Run scale-adaptive under five different cluster trajectories: the
+    # rounds-to-target spread is the paper's "uncertainty in convergence".
+    adaptive_rounds = []
+    for trial in range(5):
+        rng = np.random.default_rng(trial)
+        res = train(
+            model,
+            data,
+            scheme=SyncScheme.SCALE_ADAPTIVE,
+            free_gpus_per_round=rng.integers(1, 5, size=200).tolist(),
+            **kw,
+        )
+        adaptive_rounds.append(res.rounds_to_loss(target))
+        rows.append(
+            [
+                f"scale-adaptive (cluster trajectory {trial})",
+                res.final_loss,
+                res.rounds_to_loss(target),
+                model.accuracy(res.params, data.x, data.y),
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "final loss", f"rounds to loss<{target:.3f}",
+             "accuracy"],
+            rows,
+            float_fmt="{:.4f}",
+        )
+    )
+    spread = max(adaptive_rounds) - min(adaptive_rounds)
+    print(
+        f"\nScale-adaptive rounds-to-target varies by {spread} rounds across"
+        "\ncluster trajectories; scale-fixed (and Hare's relaxed variant)"
+        "\nalways takes the same number — that certainty is why Hare keeps"
+        "\nthe scale-fixed semantics and relaxes only the placement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of *Hare* (HPDC 2022).
+
+Hare schedules multiple distributed machine-learning jobs on heterogeneous
+GPU clusters, exploiting inter-job and intra-job parallelism with a relaxed
+scale-fixed synchronization scheme, fast task switching, and a relaxation-
+based list-scheduling algorithm with an α(2+α) approximation guarantee.
+
+Quick start::
+
+    from repro import quick_compare
+    results = quick_compare(num_jobs=12, num_gpus=8, seed=1)
+    for name, m in results.items():
+        print(name, m.total_weighted_completion)
+
+See :mod:`repro.harness` for the full experiment pipeline and the
+``benchmarks/`` directory for every table/figure reproduction.
+"""
+
+from __future__ import annotations
+
+from . import (
+    cluster,
+    control,
+    core,
+    dml,
+    harness,
+    schedulers,
+    sim,
+    switching,
+    sync,
+    theory,
+    workload,
+)
+from .harness.experiments import ExperimentResult, quick_compare, run_comparison
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResult",
+    "__version__",
+    "cluster",
+    "control",
+    "core",
+    "dml",
+    "harness",
+    "quick_compare",
+    "run_comparison",
+    "schedulers",
+    "sim",
+    "switching",
+    "sync",
+    "theory",
+    "workload",
+]

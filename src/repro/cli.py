@@ -1,0 +1,219 @@
+"""Command-line interface: run Hare experiments without writing code.
+
+Usage (``python -m repro ...``)::
+
+    python -m repro compare  --gpus 40 --jobs 60 --load 2.0 --seed 7
+    python -m repro schedule --gpus 15 --jobs 20 --scheduler hare --simulate
+    python -m repro table3
+    python -m repro speedups
+
+``compare`` runs all five schemes and prints the weighted-JCT table;
+``schedule`` runs one scheme (optionally replaying it on the DES with
+switching costs); ``table3`` and ``speedups`` print the calibration grids
+(paper Table 3 / Fig. 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .cluster import gpu_spec, scaled_cluster, testbed_cluster
+from .core import improvement_percent
+from .core.types import ModelName, SwitchMode
+from .harness import render_table, run_comparison
+from .harness.experiments import make_loaded_workload
+from .schedulers import scheduler_by_name
+from .switching import switch_time_table
+from .workload import WorkloadConfig, batch_time, speedup_table
+
+
+def _cluster(args: argparse.Namespace):
+    if args.gpus == 15:
+        return testbed_cluster()
+    return scaled_cluster(args.gpus)
+
+
+def _workload(args: argparse.Namespace):
+    if getattr(args, "trace", None):
+        from .workload import load_jobs_csv
+
+        return load_jobs_csv(args.trace)
+    jobs = make_loaded_workload(
+        args.jobs,
+        reference_gpus=args.gpus,
+        load=args.load,
+        seed=args.seed,
+        config=WorkloadConfig(rounds_scale=args.rounds_scale),
+    )
+    if getattr(args, "save_trace", None):
+        from .workload import save_jobs_csv
+
+        save_jobs_csv(jobs, args.save_trace)
+    return jobs
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    jobs = _workload(args)
+    results = run_comparison(cluster, jobs, simulate=args.simulate)
+    hare = results["Hare"].metrics.total_weighted_flow
+    rows = []
+    for name, r in results.items():
+        m = r.metrics
+        rows.append(
+            [
+                name,
+                m.total_weighted_flow,
+                m.makespan,
+                improvement_percent(m.total_weighted_flow, hare),
+            ]
+        )
+    print(
+        render_table(
+            ["scheduler", "weighted JCT (s)", "makespan (s)",
+             "Hare reduction %"],
+            rows,
+            title=(
+                f"{args.jobs} jobs on {cluster.num_gpus} GPUs "
+                f"(load {args.load}, seed {args.seed}"
+                f"{', DES replay' if args.simulate else ''})"
+            ),
+            float_fmt="{:.1f}",
+        )
+    )
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    jobs = _workload(args)
+    try:
+        scheduler = scheduler_by_name(args.scheduler)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    results = run_comparison(
+        cluster, jobs, schedulers=[scheduler], simulate=args.simulate
+    )
+    r = results[scheduler.name]
+    m = r.metrics
+    rows = [
+        ["weighted JCT (Σ w·(C−a))", m.total_weighted_flow],
+        ["weighted completion (Σ w·C)", m.total_weighted_completion],
+        ["makespan", m.makespan],
+        ["mean flow time", m.mean_flow],
+    ]
+    if r.sim is not None:
+        rows += [
+            ["switch overhead (frac of compute)",
+             r.sim.telemetry.switch_overhead_fraction()],
+            ["retention hits", r.sim.telemetry.retention_hits],
+            ["mean GPU utilization", r.sim.telemetry.mean_utilization()],
+        ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"{scheduler.name} on {cluster.num_gpus} GPUs, "
+            f"{args.jobs} jobs",
+            float_fmt="{:.3f}",
+        )
+    )
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    gpu = gpu_spec(args.gpu)
+    table = switch_time_table(gpu)
+    rows = []
+    for model in ModelName:
+        row = table[model]
+        rows.append(
+            [
+                model.value,
+                row[SwitchMode.DEFAULT] * 1e3,
+                row[SwitchMode.PIPESWITCH] * 1e3,
+                row[SwitchMode.HARE] * 1e3,
+                100 * row[SwitchMode.HARE] / batch_time(model, args.gpu),
+            ]
+        )
+    print(
+        render_table(
+            ["model", "default (ms)", "pipeswitch (ms)", "hare (ms)",
+             "hare % of task"],
+            rows,
+            title=f"Task switching time on a {args.gpu}",
+            float_fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def cmd_speedups(args: argparse.Namespace) -> int:
+    table = speedup_table()
+    gpus = list(next(iter(table.values())))
+    rows = [
+        [name.value, *(table[name][g] for g in gpus)] for name in ModelName
+    ]
+    print(
+        render_table(
+            ["model", *(g.value for g in gpus)],
+            rows,
+            title="Training speedup over K80 (Fig. 2)",
+            float_fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Hare (HPDC 2022) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--gpus", type=int, default=15,
+                       help="cluster size (15 = the paper's testbed mix)")
+        p.add_argument("--jobs", type=int, default=20)
+        p.add_argument("--load", type=float, default=1.5,
+                       help="target cluster load factor")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rounds-scale", type=float, default=0.15,
+                       help="multiplier on per-job round counts")
+        p.add_argument("--simulate", action="store_true",
+                       help="replay the plan on the DES with switch costs")
+        p.add_argument("--trace", metavar="CSV",
+                       help="load the workload from a trace CSV instead of "
+                            "generating one")
+        p.add_argument("--save-trace", metavar="CSV",
+                       help="write the generated workload to a trace CSV")
+
+    p_compare = sub.add_parser("compare", help="run all five schedulers")
+    add_workload_args(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_sched = sub.add_parser("schedule", help="run one scheduler")
+    add_workload_args(p_sched)
+    p_sched.add_argument("--scheduler", default="hare",
+                         help="hare | gavel_fifo | srtf | sched_homo | sched_allox")
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_t3 = sub.add_parser("table3", help="print the switching-cost grid")
+    p_t3.add_argument("--gpu", default="V100")
+    p_t3.set_defaults(func=cmd_table3)
+
+    p_sp = sub.add_parser("speedups", help="print the Fig. 2 speedup table")
+    p_sp.set_defaults(func=cmd_speedups)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Heterogeneous GPU cluster substrate: devices, nodes, interconnect."""
+
+from .cluster import (
+    TESTBED_MIX,
+    Cluster,
+    heterogeneity_preset,
+    make_cluster,
+    scaled_cluster,
+    testbed_cluster,
+)
+from .gpu import GPUSpec, catalog, gpu_spec
+from .network import NetworkConfig
+from .node import GPUDevice, Node, build_nodes
+
+__all__ = [
+    "TESTBED_MIX",
+    "Cluster",
+    "GPUDevice",
+    "GPUSpec",
+    "NetworkConfig",
+    "Node",
+    "build_nodes",
+    "catalog",
+    "gpu_spec",
+    "heterogeneity_preset",
+    "make_cluster",
+    "scaled_cluster",
+    "testbed_cluster",
+]

@@ -1,0 +1,72 @@
+"""Network / parameter-server synchronization time model.
+
+In the PS scheme (§2.1) every task pushes its gradients to the parameter
+server and pulls the updated model once per round, so one synchronization
+moves ``2 × model_bytes`` across the slower of (a) the worker's share of NIC
+bandwidth and (b) PCIe. Real deployments shard the parameter server across
+several machines, which multiplies the effective NIC bandwidth per transfer;
+``ps_shards`` models that (and keeps the paper's standing assumption that
+training time exceeds sync time, §5.1).
+
+The paper's testbed uses 25 Gbps Ethernet (§7.1); Fig. 18 sweeps 10-25 Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import GBPS, validate_positive
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Cluster interconnect description.
+
+    Attributes
+    ----------
+    nic_bandwidth:
+        Per-machine NIC bandwidth in bytes/s (default 25 Gbps, §7.1).
+    ps_shards:
+        Number of parameter-server shards gradients are striped over.
+        Bandwidth-effective factor for one worker's push/pull.
+    latency_s:
+        Fixed per-synchronization round-trip latency (control messages,
+        gRPC overhead).
+    duplex_factor:
+        Fraction of the 2x (push + pull) volume that is serialized. 1.0
+        means push and pull fully overlap (full duplex), 2.0 means they are
+        strictly sequential.
+    """
+
+    nic_bandwidth: float = 25 * GBPS
+    ps_shards: int = 4
+    latency_s: float = 0.002
+    duplex_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        validate_positive("nic_bandwidth", self.nic_bandwidth)
+        validate_positive("ps_shards", self.ps_shards)
+        validate_positive("duplex_factor", self.duplex_factor)
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+
+    def with_bandwidth_gbps(self, gbps: float) -> "NetworkConfig":
+        """Copy of this config at a different NIC speed (Fig. 18 sweeps)."""
+        return NetworkConfig(
+            nic_bandwidth=gbps * GBPS,
+            ps_shards=self.ps_shards,
+            latency_s=self.latency_s,
+            duplex_factor=self.duplex_factor,
+        )
+
+    def sync_time(self, model_bytes: float, pcie_bandwidth: float) -> float:
+        """Seconds for one task's gradient push + model pull.
+
+        The transfer is bottlenecked by ``min(striped NIC, PCIe)``; the
+        volume is ``duplex_factor × model_bytes`` (push and pull partially
+        overlap) plus a fixed latency term.
+        """
+        if model_bytes < 0:
+            raise ValueError("model_bytes must be >= 0")
+        effective_bw = min(self.nic_bandwidth * self.ps_shards, pcie_bandwidth)
+        return self.latency_s + self.duplex_factor * model_bytes / effective_bw

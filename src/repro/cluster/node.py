@@ -1,0 +1,86 @@
+"""Machine nodes: a host with several GPUs sharing a NIC.
+
+The paper's testbed packs the 15 GPUs into 4 EC2 instances. For the
+scheduling problem only the per-GPU device model matters (sync bandwidth is
+modeled per-worker via :class:`repro.cluster.network.NetworkConfig`), but
+nodes are kept explicit so utilization reports and the executor layer can be
+organized the way the paper's Fig. 9 shows (one executor per machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from ..core.types import GPUModel
+from .gpu import GPUSpec, gpu_spec
+
+
+@dataclass(frozen=True, slots=True)
+class GPUDevice:
+    """One physical GPU instance in a cluster.
+
+    ``gpu_id`` is the cluster-wide dense index ``m``; ``local_index`` is the
+    slot within its node.
+    """
+
+    gpu_id: int
+    node_id: int
+    local_index: int
+    spec: GPUSpec
+
+    @property
+    def model(self) -> GPUModel:
+        return self.spec.model
+
+    @property
+    def label(self) -> str:
+        return f"{self.spec.model.value}#{self.gpu_id}"
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A host machine with an ordered list of GPUs."""
+
+    node_id: int
+    gpus: tuple[GPUDevice, ...] = field(default_factory=tuple)
+    host_memory_bytes: float = 256e9
+
+    def __post_init__(self) -> None:
+        for i, g in enumerate(self.gpus):
+            if g.node_id != self.node_id or g.local_index != i:
+                raise ConfigurationError(
+                    f"GPU {g.gpu_id} is mislabeled for node {self.node_id}"
+                )
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+
+def build_nodes(
+    gpu_models: list[GPUModel | str],
+    *,
+    gpus_per_node: int = 4,
+) -> list[Node]:
+    """Pack a flat GPU list into nodes of at most *gpus_per_node* devices."""
+    if gpus_per_node < 1:
+        raise ConfigurationError("gpus_per_node must be >= 1")
+    nodes: list[Node] = []
+    gpu_id = 0
+    for start in range(0, len(gpu_models), gpus_per_node):
+        chunk = gpu_models[start : start + gpus_per_node]
+        node_id = len(nodes)
+        devices = []
+        for local, model in enumerate(chunk):
+            devices.append(
+                GPUDevice(
+                    gpu_id=gpu_id,
+                    node_id=node_id,
+                    local_index=local,
+                    spec=gpu_spec(model),
+                )
+            )
+            gpu_id += 1
+        nodes.append(Node(node_id=node_id, gpus=tuple(devices)))
+    return nodes

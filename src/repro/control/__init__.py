@@ -1,0 +1,55 @@
+"""Control plane (§6): message protocol, transport, storage, orchestrator."""
+
+from .controlplane import (
+    PS,
+    SCHEDULER,
+    UPPER,
+    ControlPlane,
+    ControlPlaneResult,
+    executor_endpoint,
+)
+from .messages import (
+    CheckpointSaved,
+    GradientPush,
+    JobCompleted,
+    Message,
+    ModelUpdate,
+    PlannedTask,
+    ProfileReply,
+    ProfileRequest,
+    SequenceAck,
+    SubmitJob,
+    TaskSequence,
+    from_wire,
+    to_wire,
+)
+from .storage import BlobMeta, BlobStore, CheckpointManager
+from .transport import Delivery, LinkStats, SimTransport
+
+__all__ = [
+    "PS",
+    "SCHEDULER",
+    "UPPER",
+    "BlobMeta",
+    "BlobStore",
+    "CheckpointManager",
+    "CheckpointSaved",
+    "ControlPlane",
+    "ControlPlaneResult",
+    "Delivery",
+    "GradientPush",
+    "JobCompleted",
+    "LinkStats",
+    "Message",
+    "ModelUpdate",
+    "PlannedTask",
+    "ProfileReply",
+    "ProfileRequest",
+    "SequenceAck",
+    "SimTransport",
+    "SubmitJob",
+    "TaskSequence",
+    "executor_endpoint",
+    "from_wire",
+    "to_wire",
+]

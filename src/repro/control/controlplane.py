@@ -1,0 +1,269 @@
+"""The central control plane: the §6 prototype's scheduler process.
+
+Orchestrates the full Fig. 9 flow over the message substrate:
+
+1. upper layer **submits** jobs (``SubmitJob`` messages);
+2. the scheduler **profiles** every (model, GPU type) pair through the
+   profiler service, hitting the historical-results database where it can;
+3. the scheduling algorithm produces per-GPU **task sequences**, which are
+   serialized and shipped to the executors (acked);
+4. the plan is **executed** on the discrete-event simulator; every task's
+   gradient push and every round's model update become accounted PS
+   traffic, and each job checkpoints through the blob store;
+5. completion notifications return to the upper layer.
+
+The result bundles the simulation outcome with the control/data-plane
+traffic accounting — how many RPCs, gradient bytes, checkpoint bytes the
+run generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..core.errors import SimulationError
+from ..core.job import Job, ProblemInstance
+from ..core.types import SwitchMode
+from ..schedulers import HareScheduler, Scheduler
+from ..sim.simulator import SimResult, simulate_plan
+from ..workload.models import spec_or_synthetic
+from ..workload.profiler import TaskProfiler, build_instance
+from .messages import (
+    GradientPush,
+    JobCompleted,
+    ModelUpdate,
+    PlannedTask,
+    SequenceAck,
+    SubmitJob,
+    TaskSequence,
+    to_wire,
+)
+from .storage import BlobStore, CheckpointManager
+from .transport import SimTransport
+
+UPPER = "upper-layer"
+SCHEDULER = "scheduler"
+PS = "parameter-server"
+
+
+def executor_endpoint(gpu_id: int) -> str:
+    return f"executor-{gpu_id}"
+
+
+@dataclass(frozen=True, slots=True)
+class ControlPlaneResult:
+    """Everything one orchestrated run produced."""
+
+    instance: ProblemInstance
+    sim: SimResult
+    acks: tuple[SequenceAck, ...]
+    completions: tuple[JobCompleted, ...]
+    gradient_pushes: int
+    model_updates: int
+    checkpoint_bytes: float
+    control_messages: int
+    control_bytes: float
+    payload_bytes: float
+
+
+@dataclass(slots=True)
+class ControlPlane:
+    """Central scheduler service wired to executors over the transport."""
+
+    cluster: Cluster
+    scheduler: Scheduler = field(default_factory=HareScheduler)
+    switch_mode: SwitchMode = SwitchMode.HARE
+    transport: SimTransport = field(default_factory=SimTransport)
+    store: BlobStore = field(default_factory=BlobStore)
+    profiler: TaskProfiler | None = None
+    checkpoint_interval: int = 10
+    _jobs: list[Job] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.transport.register(UPPER)
+        self.transport.register(SCHEDULER)
+        self.transport.register(PS)
+        for device in self.cluster.devices():
+            self.transport.register(executor_endpoint(device.gpu_id))
+        if self.profiler is None:
+            self.profiler = TaskProfiler(self.cluster)
+
+    # ------------------------------------------------------------------
+    def submit(self, jobs: list[Job]) -> None:
+        """Upper layer submits jobs (as SubmitJob messages)."""
+        for job in jobs:
+            self.transport.send(
+                UPPER,
+                SCHEDULER,
+                SubmitJob(
+                    job_id=job.job_id,
+                    model=job.model,
+                    arrival=job.arrival,
+                    weight=job.weight,
+                    num_rounds=job.num_rounds,
+                    sync_scale=job.sync_scale,
+                    batch_scale=job.batch_scale,
+                ),
+            )
+
+    def _collect_submissions(self) -> list[Job]:
+        jobs = []
+        for delivery in self.transport.drain(SCHEDULER):
+            msg = delivery.message
+            if not isinstance(msg, SubmitJob):
+                raise SimulationError(
+                    f"unexpected message at scheduler: {msg!r}"
+                )
+            jobs.append(
+                Job(
+                    job_id=msg.job_id,
+                    model=msg.model,
+                    arrival=msg.arrival,
+                    weight=msg.weight,
+                    num_rounds=msg.num_rounds,
+                    sync_scale=msg.sync_scale,
+                    batch_scale=msg.batch_scale,
+                )
+            )
+        jobs.sort(key=lambda j: j.job_id)
+        return jobs
+
+    # ------------------------------------------------------------------
+    def run(self) -> ControlPlaneResult:
+        """Execute the full Fig. 9 pipeline for the submitted jobs."""
+        jobs = self._collect_submissions()
+        if not jobs:
+            raise SimulationError("no jobs submitted")
+        instance = build_instance(jobs, self.cluster, profiler=self.profiler)
+        plan = self.scheduler.schedule(instance)
+
+        # Ship sequences to executors; collect acks.
+        acks: list[SequenceAck] = []
+        for gpu_id, seq in sorted(plan.gpu_sequences().items()):
+            message = TaskSequence(
+                gpu_id=gpu_id,
+                tasks=tuple(
+                    to_wire(
+                        PlannedTask(
+                            job_id=a.task.job_id,
+                            round_idx=a.task.round_idx,
+                            slot=a.task.slot,
+                            start=a.start,
+                            train_time=a.train_time,
+                            sync_time=a.sync_time,
+                        )
+                    )
+                    for a in seq
+                ),
+            )
+            endpoint = executor_endpoint(gpu_id)
+            self.transport.send(SCHEDULER, endpoint, message)
+            (delivery,) = self.transport.drain(endpoint)
+            ack = SequenceAck(
+                gpu_id=gpu_id, num_tasks=len(delivery.message.tasks)
+            )
+            self.transport.send(endpoint, SCHEDULER, ack)
+            acks.append(ack)
+        self.transport.drain(SCHEDULER)  # consume acks
+
+        # Execute on the DES.
+        sim = simulate_plan(
+            self.cluster, instance, plan, switch_mode=self.switch_mode
+        )
+
+        # Account PS traffic and checkpoints from the realized execution.
+        gradient_pushes = 0
+        model_updates = 0
+        checkpoint_bytes = 0.0
+        managers = {
+            job.job_id: CheckpointManager(
+                store=self.store,
+                job_id=job.job_id,
+                model_bytes=spec_or_synthetic(job.model).model_bytes,
+                interval=self.checkpoint_interval,
+            )
+            for job in jobs
+        }
+        # Build the full PS traffic timeline first (gradient pushes as
+        # tasks sync; model updates/checkpoints as round barriers open),
+        # then replay it in global time order — the transport clock is
+        # monotonic like a real wire.
+        rounds_seen: dict[tuple[int, int], float] = {}
+        events: list[tuple[float, int, object]] = []  # (time, kind, payload)
+        for rec in sim.telemetry.records:
+            events.append((rec.sync_end, 0, rec))
+            key = (rec.task.job_id, rec.task.round_idx)
+            rounds_seen[key] = max(rounds_seen.get(key, 0.0), rec.sync_end)
+        for key, barrier in rounds_seen.items():
+            events.append((barrier, 1, key))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        completions: list[JobCompleted] = []
+        for time, kind, payload in events:
+            if kind == 0:
+                rec = payload
+                spec = spec_or_synthetic(
+                    instance.jobs[rec.task.job_id].model
+                )
+                self.transport.send(
+                    executor_endpoint(rec.gpu),
+                    PS,
+                    GradientPush(
+                        job_id=rec.task.job_id,
+                        round_idx=rec.task.round_idx,
+                        slot=rec.task.slot,
+                        gpu_id=rec.gpu,
+                        time=time,
+                        data_bytes=spec.gradient_bytes,
+                    ),
+                    at=time,
+                )
+                gradient_pushes += 1
+                continue
+            job_id, r = payload
+            job = jobs[job_id]
+            spec = spec_or_synthetic(job.model)
+            self.transport.send(
+                PS,
+                executor_endpoint(0),
+                ModelUpdate(
+                    job_id=job_id,
+                    round_idx=r,
+                    version=r + 1,
+                    time=time,
+                    data_bytes=spec.model_bytes,
+                ),
+                at=time,
+            )
+            model_updates += 1
+            meta = managers[job_id].maybe_checkpoint(r, at=time)
+            if meta is not None:
+                checkpoint_bytes += meta.size_bytes
+            if r == job.num_rounds - 1:
+                final = managers[job_id].final_checkpoint(at=time)
+                checkpoint_bytes += final.size_bytes
+                completion = JobCompleted(
+                    job_id=job_id,
+                    completion_time=sim.pool.completion_time(job_id),
+                )
+                self.transport.send(SCHEDULER, UPPER, completion)
+                completions.append(completion)
+        completions.sort(key=lambda c: c.job_id)
+        self.transport.drain(PS)
+        self.transport.drain(executor_endpoint(0))
+        self.transport.drain(UPPER)
+
+        totals = self.transport.total_stats()
+        return ControlPlaneResult(
+            instance=instance,
+            sim=sim,
+            acks=tuple(acks),
+            completions=tuple(completions),
+            gradient_pushes=gradient_pushes,
+            model_updates=model_updates,
+            checkpoint_bytes=checkpoint_bytes,
+            control_messages=totals.messages,
+            control_bytes=totals.control_bytes,
+            payload_bytes=totals.payload_bytes,
+        )

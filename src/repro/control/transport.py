@@ -1,0 +1,120 @@
+"""In-process message transport with latency and byte accounting.
+
+Stands in for the prototype's gRPC layer (§6): named endpoints exchange
+:class:`~repro.control.messages.Message` objects through a simulated
+network. Control messages pay a fixed RPC latency; bulk payloads
+(gradients, model weights) additionally pay ``bytes / bandwidth``. The
+transport keeps per-link statistics so experiments can report control-plane
+overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError, SimulationError
+from .messages import Message
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """A message delivered to an endpoint."""
+
+    src: str
+    dst: str
+    message: Message
+    sent_at: float
+    delivered_at: float
+
+
+@dataclass(slots=True)
+class LinkStats:
+    """Aggregate per-(src, dst) traffic counters."""
+
+    messages: int = 0
+    control_bytes: float = 0.0
+    payload_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.control_bytes + self.payload_bytes
+
+
+@dataclass(slots=True)
+class SimTransport:
+    """Latency/bandwidth-modelled message bus between named endpoints."""
+
+    rpc_latency_s: float = 5e-4
+    bandwidth: float = 25e9 / 8  # 25 Gbps in bytes/s
+    _endpoints: set[str] = field(default_factory=set)
+    _inboxes: dict[str, list] = field(default_factory=dict)
+    _counter: itertools.count = field(default_factory=itertools.count)
+    _stats: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
+    now: float = 0.0
+
+    def register(self, name: str) -> None:
+        if name in self._endpoints:
+            raise ConfigurationError(f"endpoint {name!r} already registered")
+        self._endpoints.add(name)
+        self._inboxes[name] = []
+
+    def send(
+        self, src: str, dst: str, message: Message, *, at: float | None = None
+    ) -> float:
+        """Queue *message*; returns its delivery time."""
+        for name in (src, dst):
+            if name not in self._endpoints:
+                raise ConfigurationError(f"unknown endpoint {name!r}")
+        sent_at = self.now if at is None else at
+        if sent_at < self.now - 1e-9:
+            raise SimulationError("cannot send into the past")
+        self.now = max(self.now, sent_at)
+        envelope = message.wire_bytes() - message.payload_bytes
+        transfer = message.payload_bytes / self.bandwidth
+        delivered_at = sent_at + self.rpc_latency_s + transfer
+        heapq.heappush(
+            self._inboxes[dst],
+            (delivered_at, next(self._counter),
+             Delivery(src, dst, message, sent_at, delivered_at)),
+        )
+        stats = self._stats.setdefault((src, dst), LinkStats())
+        stats.messages += 1
+        stats.control_bytes += envelope
+        stats.payload_bytes += message.payload_bytes
+        return delivered_at
+
+    def receive(self, endpoint: str) -> Delivery | None:
+        """Pop the earliest pending delivery for *endpoint* (or None)."""
+        inbox = self._inboxes.get(endpoint)
+        if inbox is None:
+            raise ConfigurationError(f"unknown endpoint {endpoint!r}")
+        if not inbox:
+            return None
+        delivered_at, _, delivery = heapq.heappop(inbox)
+        self.now = max(self.now, delivered_at)
+        return delivery
+
+    def drain(self, endpoint: str) -> list[Delivery]:
+        """Pop everything pending for *endpoint*, in delivery order."""
+        out = []
+        while True:
+            d = self.receive(endpoint)
+            if d is None:
+                return out
+            out.append(d)
+
+    def pending(self, endpoint: str) -> int:
+        return len(self._inboxes.get(endpoint, []))
+
+    def stats(self, src: str, dst: str) -> LinkStats:
+        return self._stats.get((src, dst), LinkStats())
+
+    def total_stats(self) -> LinkStats:
+        total = LinkStats()
+        for s in self._stats.values():
+            total.messages += s.messages
+            total.control_bytes += s.control_bytes
+            total.payload_bytes += s.payload_bytes
+        return total

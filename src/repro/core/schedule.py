@@ -1,0 +1,257 @@
+"""Schedule representation and validation against constraints (4)-(8).
+
+A :class:`Schedule` is the output of an offline scheduler: for every task it
+records the GPU assignment (the paper's ``y_{i,m}``), the start time
+(``x_i``), and the realized training / synchronization durations. The module
+also provides :func:`validate_schedule`, which checks the full Hare_Sched
+constraint set, and helpers to derive per-GPU task sequences and per-job
+completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .errors import ScheduleValidationError
+from .job import ProblemInstance
+from .types import TaskRef
+
+#: Start-time comparisons tolerate this much float slack (seconds).
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class TaskAssignment:
+    """Placement of one task: GPU, start time and durations.
+
+    ``train_time``/``sync_time`` are stored explicitly (instead of looked up
+    from the instance) so a schedule can also represent *realized* execution
+    from the simulator, where switching overhead inflates the span.
+    """
+
+    task: TaskRef
+    gpu: int
+    start: float
+    train_time: float
+    sync_time: float
+
+    @property
+    def compute_end(self) -> float:
+        """Time the GPU is released (sync overlaps the next task, §5.2)."""
+        return self.start + self.train_time
+
+    @property
+    def end(self) -> float:
+        """Time the task's gradients are synchronized (round-barrier input)."""
+        return self.start + self.train_time + self.sync_time
+
+
+@dataclass(slots=True)
+class Schedule:
+    """A complete task schedule for a problem instance."""
+
+    instance: ProblemInstance
+    assignments: dict[TaskRef, TaskAssignment] = field(default_factory=dict)
+
+    def add(self, assignment: TaskAssignment) -> None:
+        if assignment.task in self.assignments:
+            raise ScheduleValidationError(
+                5, f"task {assignment.task} assigned twice"
+            )
+        self.assignments[assignment.task] = assignment
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __contains__(self, task: TaskRef) -> bool:
+        return task in self.assignments
+
+    def __getitem__(self, task: TaskRef) -> TaskAssignment:
+        return self.assignments[task]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def gpu_sequences(self) -> dict[int, list[TaskAssignment]]:
+        """Per-GPU task sequences ordered by start time.
+
+        This is exactly what the Hare scheduler ships to each executor
+        (§3, Fig. 9): an ordered list of tasks per GPU.
+        """
+        seqs: dict[int, list[TaskAssignment]] = {}
+        for a in self.assignments.values():
+            seqs.setdefault(a.gpu, []).append(a)
+        for seq in seqs.values():
+            seq.sort(key=lambda a: (a.start, a.task))
+        return seqs
+
+    def round_end(self, job_id: int, round_idx: int) -> float:
+        """Completion (post-sync) time of a round: max end over its tasks."""
+        job = self.instance.jobs[job_id]
+        ends = [
+            self.assignments[t].end for t in job.round_tasks(round_idx)
+            if t in self.assignments
+        ]
+        if len(ends) != job.sync_scale:
+            raise ScheduleValidationError(
+                5,
+                f"job {job_id} round {round_idx} has {len(ends)} scheduled "
+                f"tasks, expected {job.sync_scale}",
+            )
+        return max(ends)
+
+    def job_completion(self, job_id: int) -> float:
+        """``C_n``: the end of the job's last round."""
+        job = self.instance.jobs[job_id]
+        return self.round_end(job_id, job.num_rounds - 1)
+
+    def completions(self) -> dict[int, float]:
+        """``C_n`` for every job."""
+        return {j.job_id: self.job_completion(j.job_id) for j in self.instance.jobs}
+
+    def makespan(self) -> float:
+        """Latest task end over all jobs (0 for an empty schedule)."""
+        if not self.assignments:
+            return 0.0
+        return max(a.end for a in self.assignments.values())
+
+    def total_weighted_completion(self) -> float:
+        """The paper's objective ``Σ_n w_n · C_n``."""
+        return sum(
+            job.weight * self.job_completion(job.job_id)
+            for job in self.instance.jobs
+        )
+
+
+def validate_schedule(
+    schedule: Schedule,
+    *,
+    check_durations: bool = True,
+    eps: float = TIME_EPS,
+) -> None:
+    """Raise :class:`ScheduleValidationError` unless the schedule is feasible.
+
+    Checks, in the paper's numbering:
+
+    * (5) every task of every job is assigned exactly once, to one GPU;
+    * (4) no task starts before its job's arrival ``a_n``;
+    * (7) round ``r+1`` tasks start only after *all* round ``r`` tasks have
+      finished training **and** synchronizing;
+    * (8) tasks sharing a GPU do not overlap in compute time
+      (non-preemption); sync time may overlap the successor's compute.
+
+    With ``check_durations=True`` (the planning case) each assignment's
+    durations must equal the instance's ``T^c``/``T^s``; the simulator's
+    realized schedules pass ``check_durations=False`` because switching
+    overhead legitimately inflates spans.
+    """
+    inst = schedule.instance
+
+    # (5): full coverage, no duplicates (duplicates impossible by dict).
+    expected = set(inst.all_tasks())
+    got = set(schedule.assignments)
+    missing = expected - got
+    extra = got - expected
+    if missing:
+        raise ScheduleValidationError(
+            5, f"{len(missing)} tasks unscheduled, e.g. {sorted(missing)[0]}"
+        )
+    if extra:
+        raise ScheduleValidationError(
+            5, f"{len(extra)} unknown tasks scheduled, e.g. {sorted(extra)[0]}"
+        )
+
+    for task, a in schedule.assignments.items():
+        job = inst.jobs[task.job_id]
+        if not 0 <= a.gpu < inst.num_gpus:
+            raise ScheduleValidationError(
+                5, f"{task} placed on nonexistent GPU {a.gpu}"
+            )
+        # (4)
+        if a.start < job.arrival - eps:
+            raise ScheduleValidationError(
+                4,
+                f"{task} starts at {a.start:.6f} before arrival "
+                f"{job.arrival:.6f}",
+            )
+        if check_durations:
+            tc = inst.tc(task.job_id, a.gpu)
+            ts = inst.ts(task.job_id, a.gpu)
+            if abs(a.train_time - tc) > eps or abs(a.sync_time - ts) > eps:
+                raise ScheduleValidationError(
+                    6,
+                    f"{task} durations ({a.train_time}, {a.sync_time}) do not"
+                    f" match instance ({tc}, {ts}) on GPU {a.gpu}",
+                )
+        elif a.train_time < 0 or a.sync_time < 0:
+            raise ScheduleValidationError(
+                6, f"{task} has negative durations"
+            )
+
+    # (7): synchronization barrier between consecutive rounds.
+    for job in inst.jobs:
+        prev_end = job.arrival
+        for r in range(job.num_rounds):
+            starts = [schedule[t].start for t in job.round_tasks(r)]
+            if min(starts) < prev_end - eps:
+                raise ScheduleValidationError(
+                    7,
+                    f"job {job.job_id} round {r} starts at {min(starts):.6f} "
+                    f"before previous round barrier {prev_end:.6f}",
+                )
+            prev_end = schedule.round_end(job.job_id, r)
+
+    # (8): non-overlap of compute on each GPU.
+    for gpu, seq in schedule.gpu_sequences().items():
+        for earlier, later in zip(seq, seq[1:]):
+            if later.start < earlier.compute_end - eps:
+                raise ScheduleValidationError(
+                    8,
+                    f"GPU {gpu}: {later.task} starts at {later.start:.6f} "
+                    f"inside {earlier.task} which computes until "
+                    f"{earlier.compute_end:.6f}",
+                )
+
+
+def schedule_from_mapping(
+    instance: ProblemInstance,
+    placements: Mapping[TaskRef, tuple[int, float]],
+) -> Schedule:
+    """Build a Schedule from ``task -> (gpu, start)`` using instance durations."""
+    sched = Schedule(instance)
+    for task, (gpu, start) in placements.items():
+        sched.add(
+            TaskAssignment(
+                task=task,
+                gpu=gpu,
+                start=start,
+                train_time=instance.tc(task.job_id, gpu),
+                sync_time=instance.ts(task.job_id, gpu),
+            )
+        )
+    return sched
+
+
+def gpu_busy_intervals(
+    schedule: Schedule,
+) -> dict[int, list[tuple[float, float]]]:
+    """Per-GPU sorted ``(start, compute_end)`` intervals (for utilization)."""
+    out: dict[int, list[tuple[float, float]]] = {}
+    for gpu, seq in schedule.gpu_sequences().items():
+        out[gpu] = [(a.start, a.compute_end) for a in seq]
+    return out
+
+
+def merge_intervals(
+    intervals: Iterable[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Merge possibly-overlapping intervals into a disjoint sorted list."""
+    items = sorted(intervals)
+    merged: list[tuple[float, float]] = []
+    for s, e in items:
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return merged

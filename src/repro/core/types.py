@@ -1,0 +1,156 @@
+"""Fundamental enumerations and identifier types shared across the library.
+
+The vocabulary follows the paper:
+
+* a *job* (``n`` in the paper) is one DML training job, made of *rounds*;
+* a *round* (``r``) launches ``sync_scale`` parallel *tasks* (set ``D_r``),
+  each training one mini-batch; all tasks of a round synchronize gradients
+  through the parameter server before the next round starts;
+* a *GPU* (``m``) is one device of a heterogeneous cluster.
+
+Times are floats in **seconds** throughout the library. Memory sizes are in
+**bytes**; bandwidths in **bytes/second** unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NewType
+
+#: Index of a job within a problem instance (0-based, dense).
+JobId = NewType("JobId", int)
+
+#: Index of a GPU within a cluster (0-based, dense).
+GpuId = NewType("GpuId", int)
+
+GIB = 1024**3
+MIB = 1024**2
+
+#: One gigabit per second, in bytes per second.
+GBPS = 1e9 / 8.0
+
+
+class GPUModel(str, enum.Enum):
+    """GPU device models used in the paper's testbed, plus common extras.
+
+    The paper's testbed (§7.1) uses V100, T4, K80 and M60. A100 and P100 are
+    included so users can model newer/older clusters; the workload profiles
+    cover them with extrapolated speedups.
+    """
+
+    V100 = "V100"
+    T4 = "T4"
+    K80 = "K80"
+    M60 = "M60"
+    P100 = "P100"
+    A100 = "A100"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Domain(str, enum.Enum):
+    """Application domain of a DML model (Table 2)."""
+
+    CV = "CV"
+    NLP = "NLP"
+    SPEECH = "Speech"
+    REC = "Rec."
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ModelName(str, enum.Enum):
+    """The eight deep-learning models of Table 2."""
+
+    VGG19 = "VGG19"
+    RESNET50 = "ResNet50"
+    INCEPTION_V3 = "InceptionV3"
+    BERT_BASE = "Bert_base"
+    TRANSFORMER = "Transformer"
+    DEEPSPEECH = "DeepSpeech"
+    FASTGCN = "FastGCN"
+    GRAPHSAGE = "GraphSAGE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SwitchMode(str, enum.Enum):
+    """Task-switching implementation charged by the simulator (§4, Table 3).
+
+    DEFAULT
+        Sequential clean-then-initialize: destroy the CUDA context, free
+        memory, create a fresh context, allocate, copy the model over PCIe.
+    PIPESWITCH
+        PipeSwitch [8]: pre-created CUDA contexts plus pipelined, layered
+        model transmission that overlaps transfer with execution.
+    HARE
+        PipeSwitch plus the paper's two additions: *early task cleaning*
+        (free each layer's intermediate state as its backward pass finishes,
+        letting the successor pre-load into the freed space) and *speculative
+        memory management* (keep recently used models resident so a re-run
+        of the same model skips the transfer entirely).
+    """
+
+    DEFAULT = "default"
+    PIPESWITCH = "pipeswitch"
+    HARE = "hare"
+
+
+class SyncScheme(str, enum.Enum):
+    """Intra-job synchronization schemes compared in §2.2.3.
+
+    SCALE_FIXED
+        Launch exactly ``sync_scale`` tasks per round and require that many
+        GPUs *simultaneously* (gang scheduling), as in Tiresias/Gandiva.
+    SCALE_ADAPTIVE
+        Adapt the number of tasks per round to currently free GPUs
+        (Optimus/Gavel/AntMan style); convergence becomes data-dependent.
+    RELAXED_SCALE_FIXED
+        Hare's scheme: exactly ``sync_scale`` tasks per round, but tasks of
+        one round may run back-to-back on the same GPU instead of strictly
+        in parallel. Convergence is identical to SCALE_FIXED because the
+        set of gradients aggregated per round is identical.
+    """
+
+    SCALE_FIXED = "scale_fixed"
+    SCALE_ADAPTIVE = "scale_adaptive"
+    RELAXED_SCALE_FIXED = "relaxed_scale_fixed"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TaskRef:
+    """Identity of a single training task: job ``n``, round ``r``, slot ``d``.
+
+    ``slot`` numbers the parallel tasks within one round, ``0..len(D_r)-1``.
+    TaskRefs order lexicographically, which gives a deterministic tie-break
+    everywhere a scheduler sorts tasks.
+    """
+
+    job_id: int
+    round_idx: int
+    slot: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"J{self.job_id}.r{self.round_idx}.t{self.slot}"
+
+
+def validate_positive(name: str, value: float) -> float:
+    """Return *value* if strictly positive, else raise ConfigurationError."""
+    from .errors import ConfigurationError
+
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def validate_non_negative(name: str, value: float) -> float:
+    """Return *value* if >= 0, else raise ConfigurationError."""
+    from .errors import ConfigurationError
+
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value

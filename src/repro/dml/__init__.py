@@ -1,0 +1,18 @@
+"""Mini-DML training engine: NumPy PS-synchronous SGD (§2.2.3 substrate)."""
+
+from .data import Dataset, make_classification, make_regression
+from .model import LogisticRegression, MLPRegressor, TrainableModel
+from .training import ParameterServer, TrainingResult, compare_schemes, train
+
+__all__ = [
+    "Dataset",
+    "LogisticRegression",
+    "MLPRegressor",
+    "ParameterServer",
+    "TrainableModel",
+    "TrainingResult",
+    "compare_schemes",
+    "make_classification",
+    "make_regression",
+    "train",
+]

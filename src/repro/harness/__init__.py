@@ -1,0 +1,30 @@
+"""Experiment harness: end-to-end runs, table rendering, result records."""
+
+from .experiments import (
+    ExperimentResult,
+    make_problem,
+    make_workload,
+    quick_compare,
+    run_comparison,
+)
+from .gantt import GanttOptions, render_gantt, render_job_timeline
+from .report import PAPER_CLAIMS, Claim, Verdict, render_claims
+from .tables import normalize_to, render_series, render_table
+
+__all__ = [
+    "PAPER_CLAIMS",
+    "Claim",
+    "ExperimentResult",
+    "GanttOptions",
+    "make_problem",
+    "make_workload",
+    "normalize_to",
+    "quick_compare",
+    "render_series",
+    "Verdict",
+    "render_claims",
+    "render_gantt",
+    "render_job_timeline",
+    "render_table",
+    "run_comparison",
+]

@@ -1,0 +1,185 @@
+"""End-to-end experiment harness used by the benchmark suite.
+
+One experiment = (cluster, workload trace) × a set of schedulers. For each
+scheduler the harness builds the analytic plan (validated against
+constraints (4)-(8)), optionally replays it on the discrete-event simulator
+with switching dynamics, and collects the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster, scaled_cluster, testbed_cluster
+from ..core.job import Job, ProblemInstance
+from ..core.metrics import ScheduleMetrics, metrics_from_schedule
+from ..core.schedule import Schedule, validate_schedule
+from ..core.types import SwitchMode
+from ..schedulers import Scheduler, default_schedulers
+from ..sim.simulator import SimResult, simulate_plan
+from ..workload.jobs import WorkloadConfig, generate_jobs
+from ..workload.profiler import TaskProfiler, build_instance
+from ..workload.trace import GoogleLikeTrace
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """All outcomes of one scheduler on one workload."""
+
+    scheduler: str
+    plan: Schedule
+    plan_metrics: ScheduleMetrics
+    sim: SimResult | None = None
+
+    @property
+    def metrics(self) -> ScheduleMetrics:
+        """Simulated metrics when available, else the analytic plan's."""
+        return self.sim.metrics if self.sim is not None else self.plan_metrics
+
+    @property
+    def weighted_jct(self) -> float:
+        return self.metrics.total_weighted_completion
+
+
+def make_workload(
+    num_jobs: int,
+    *,
+    seed: int = 0,
+    config: WorkloadConfig | None = None,
+    trace: GoogleLikeTrace | None = None,
+) -> list[Job]:
+    """Default workload: Google-like arrivals × Table 2 job mix."""
+    trace = trace or GoogleLikeTrace()
+    arrivals = trace.sample(num_jobs, seed=seed)
+    return generate_jobs(arrivals, config, seed=seed + 1)
+
+
+def job_min_work(job: Job) -> float:
+    """Fastest-GPU serial work of a job (seconds of GPU time).
+
+    Uses the calibrated profile's best batch time across the catalog; the
+    load controller below uses it to size arrival windows.
+    """
+    from ..core.types import GPUModel
+    from ..workload.profiles import profile_for
+
+    try:
+        prof = profile_for(job.model)
+        best = min(prof.batch_time(g) for g in GPUModel)
+    except Exception:
+        best = 0.1  # synthetic models: nominal tenth of a second per batch
+    return job.num_rounds * job.sync_scale * best * job.batch_scale
+
+
+def make_loaded_workload(
+    num_jobs: int,
+    *,
+    reference_gpus: int,
+    load: float = 1.2,
+    seed: int = 0,
+    config: WorkloadConfig | None = None,
+    trace: GoogleLikeTrace | None = None,
+) -> list[Job]:
+    """A workload whose arrival window produces a target cluster load.
+
+    The Google-like arrival *pattern* is kept, but its time axis is rescaled
+    so that ``total fastest-GPU work / (reference_gpus × span) = load``.
+    ``load >= 1`` produces the sustained contention of the paper's
+    experiments (queues build up and scheduling quality matters);
+    ``load < 1`` approaches the uncontended regime where every scheme ties.
+
+    The same workload is reused across a GPU sweep (Fig. 14) by fixing
+    ``reference_gpus`` to the largest cluster of the sweep.
+    """
+    jobs = make_workload(num_jobs, seed=seed, config=config, trace=trace)
+    if load <= 0:
+        raise ValueError("load must be > 0")
+    total_work = sum(job_min_work(j) for j in jobs)
+    span = total_work / (reference_gpus * load)
+    max_arrival = max((j.arrival for j in jobs), default=0.0)
+    scale = span / max_arrival if max_arrival > 0 else 0.0
+    rescaled = [
+        Job(
+            job_id=j.job_id,
+            model=j.model,
+            arrival=j.arrival * scale,
+            weight=j.weight,
+            num_rounds=j.num_rounds,
+            sync_scale=j.sync_scale,
+            batch_scale=j.batch_scale,
+        )
+        for j in jobs
+    ]
+    return rescaled
+
+
+def make_problem(
+    cluster: Cluster,
+    jobs: list[Job],
+    *,
+    profiler: TaskProfiler | None = None,
+) -> ProblemInstance:
+    """Profile the workload on the cluster into a ProblemInstance."""
+    return build_instance(jobs, cluster, profiler=profiler)
+
+
+def run_comparison(
+    cluster: Cluster,
+    jobs: list[Job],
+    *,
+    schedulers: list[Scheduler] | None = None,
+    simulate: bool = False,
+    switch_mode: SwitchMode = SwitchMode.HARE,
+    validate: bool = True,
+) -> dict[str, ExperimentResult]:
+    """Run every scheduler on one (cluster, workload) pair.
+
+    With ``simulate=True`` each plan is additionally replayed on the DES
+    with the given switching mode — this is the "testbed" configuration;
+    plans alone are the paper's idealized simulator numbers.
+    """
+    instance = make_problem(cluster, jobs)
+    schedulers = schedulers or default_schedulers()
+    results: dict[str, ExperimentResult] = {}
+    for scheduler in schedulers:
+        plan = scheduler.schedule(instance)
+        if validate:
+            validate_schedule(plan)
+        sim = (
+            simulate_plan(
+                cluster, instance, plan, switch_mode=switch_mode
+            )
+            if simulate
+            else None
+        )
+        results[scheduler.name] = ExperimentResult(
+            scheduler=scheduler.name,
+            plan=plan,
+            plan_metrics=metrics_from_schedule(plan),
+            sim=sim,
+        )
+    return results
+
+
+def quick_compare(
+    num_jobs: int = 12,
+    num_gpus: int = 8,
+    *,
+    seed: int = 0,
+    rounds_scale: float = 0.2,
+    simulate: bool = False,
+) -> dict[str, ScheduleMetrics]:
+    """Small self-contained comparison (the README quick-start).
+
+    Returns ``{scheduler name: metrics}`` on a scaled testbed-mix cluster.
+    """
+    cluster = (
+        testbed_cluster() if num_gpus == 15 else scaled_cluster(num_gpus)
+    )
+    jobs = make_workload(
+        num_jobs,
+        seed=seed,
+        config=WorkloadConfig(rounds_scale=rounds_scale),
+    )
+    results = run_comparison(cluster, jobs, simulate=simulate)
+    return {name: r.metrics for name, r in results.items()}

@@ -1,0 +1,138 @@
+"""Paper-vs-measured claim records.
+
+Benchmarks assert shapes inline; this module provides the structured record
+used to keep EXPERIMENTS.md honest: every reproduced claim is a
+:class:`Claim` with the paper's value, our measured value and a verdict.
+:func:`render_claims` emits the markdown-style summary, and
+:data:`PAPER_CLAIMS` enumerates the paper's headline quantitative claims so
+tests can iterate them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from .tables import render_table
+
+
+class Verdict(str, enum.Enum):
+    """How a claim reproduced."""
+
+    MATCH = "match"              # same shape and magnitude band
+    SHAPE_ONLY = "shape-only"    # ordering/trend holds, magnitudes differ
+    DEVIATION = "deviation"      # documented, explained difference
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One quantitative claim from the paper and how it reproduced."""
+
+    claim_id: str
+    source: str          # "Table 3", "Fig. 12", "§2.2.3", ...
+    description: str
+    paper_value: str
+    measured_value: str
+    verdict: Verdict
+    note: str = ""
+
+    def row(self) -> list[str]:
+        return [
+            self.claim_id,
+            self.source,
+            self.paper_value,
+            self.measured_value,
+            self.verdict.value,
+        ]
+
+
+#: The paper's headline quantitative claims and our standing record
+#: (kept in sync with EXPERIMENTS.md; tests check structural invariants).
+PAPER_CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        "switch-hare-max", "Table 3",
+        "Hare's worst-case switch time",
+        "<= 6 ms", "<= 5.8 ms", Verdict.MATCH,
+    ),
+    Claim(
+        "switch-hare-frac", "Table 3",
+        "Hare switch cost as share of task time",
+        "<= 5 %", "<= 4.4 %", Verdict.MATCH,
+    ),
+    Claim(
+        "switch-default", "Table 3",
+        "Default switch time per model",
+        "3.3-9.0 s", "within 1 % per cell", Verdict.MATCH,
+        note="framework-init constants calibrated to the table",
+    ),
+    Claim(
+        "testbed-reduction", "Fig. 12",
+        "weighted JCT reduction vs baselines",
+        "47.6-75.3 %", "30.0-51.5 %", Verdict.SHAPE_ONLY,
+        note="our baselines are stronger implementations",
+    ),
+    Claim(
+        "sim-accuracy", "Fig. 12",
+        "simulator vs testbed gap",
+        "<= 5 %", "<= 2.7 %", Verdict.MATCH,
+    ),
+    Claim(
+        "cdf-fraction", "Fig. 13",
+        "jobs completing within the horizon",
+        "90.5 vs 66.7/56.5 %", "88 vs 78/70 %", Verdict.SHAPE_ONLY,
+    ),
+    Claim(
+        "allox-factor", "Fig. 14",
+        "best baseline (AlloX) vs Hare",
+        "about 2x", "1.4-1.9x", Verdict.SHAPE_ONLY,
+    ),
+    Claim(
+        "jobs-sweep", "Fig. 15",
+        "Hare's lead grows with job count",
+        "54.6-80.5 % at 300 jobs", "57.8 % at the heaviest point",
+        Verdict.MATCH,
+    ),
+    Claim(
+        "hetero-low", "Fig. 16",
+        "Hare ≈ Sched_Homo at low heterogeneity",
+        "close", "within 8 %", Verdict.MATCH,
+    ),
+    Claim(
+        "bandwidth-sublinear", "Fig. 18",
+        "10→25 Gbps JCT reduction (sub-linear)",
+        "31.2 %", "20.4 %", Verdict.SHAPE_ONLY,
+    ),
+    Claim(
+        "batch-insensitive", "Fig. 19",
+        "batch size has little influence",
+        "all but Sched_Homo", "all schemes (< 10 %)", Verdict.DEVIATION,
+        note="our Homo holds its gang per job; see EXPERIMENTS.md",
+    ),
+    Claim(
+        "omega-default", "Fig. 7",
+        "switch/train ratio under default switching",
+        "≈ 9", "30-133", Verdict.DEVIATION,
+        note="paper's Ω amortizes over multi-batch slices; "
+        "Table 3 arithmetic gives ours",
+    ),
+    Claim(
+        "relaxed-convergence", "§2.2.3",
+        "relaxed scale-fixed convergence equals scale-fixed",
+        "claimed", "bit-identical", Verdict.MATCH,
+    ),
+    Claim(
+        "theorem4", "§5.3",
+        "α(2+α)-approximation of Algorithm 1",
+        "proved", "0 violations over audits", Verdict.MATCH,
+    ),
+)
+
+
+def render_claims(claims: Iterable[Claim] = PAPER_CLAIMS) -> str:
+    """Markdown-ish summary table of the reproduction record."""
+    return render_table(
+        ["id", "source", "paper", "measured", "verdict"],
+        [c.row() for c in claims],
+        title="Reproduction record",
+    )

@@ -1,0 +1,92 @@
+"""Schedulers: Hare's Algorithm 1 and the §7.1 comparison baselines."""
+
+from .allox import SchedAlloxScheduler
+from .base import (
+    HeapTimeline,
+    Scheduler,
+    check_gang_feasible,
+    fastest_free_gpus,
+    gang_run_job,
+    run_gang_scheduler,
+)
+from .fifo import GavelFifoScheduler
+from .hare import (
+    AUTO_LP_TASK_LIMIT,
+    HareScheduler,
+    list_schedule,
+    strict_gang_schedule,
+)
+from .homo import SchedHomoScheduler
+from .online import OnlineHareScheduler
+from .optimal import brute_force_optimal
+from .relaxation import (
+    ExactRelaxationSolver,
+    FluidRelaxationSolver,
+    RelaxationResult,
+    RelaxationSolver,
+    greedy_assignment,
+)
+from .srtf import SrtfScheduler
+from .timeslice import TimeSliceScheduler
+
+
+def default_schedulers() -> list[Scheduler]:
+    """The paper's five compared schemes, Hare last."""
+    return [
+        GavelFifoScheduler(),
+        SrtfScheduler(),
+        SchedHomoScheduler(),
+        SchedAlloxScheduler(),
+        HareScheduler(),
+    ]
+
+
+def all_schedulers() -> list[Scheduler]:
+    """The paper's five schemes plus the extension schedulers."""
+    return [
+        *default_schedulers(),
+        OnlineHareScheduler(),
+        TimeSliceScheduler(),
+    ]
+
+
+def scheduler_by_name(name: str) -> Scheduler:
+    """Look up a scheme by its legend name (case-insensitive).
+
+    Covers the paper's five plus the extensions (``Hare_Online``,
+    ``Gavel_TS``).
+    """
+    for sched in all_schedulers():
+        if sched.name.lower() == name.lower():
+            return sched
+    known = [s.name for s in all_schedulers()]
+    raise KeyError(f"unknown scheduler {name!r}; known: {known}")
+
+
+__all__ = [
+    "AUTO_LP_TASK_LIMIT",
+    "ExactRelaxationSolver",
+    "FluidRelaxationSolver",
+    "GavelFifoScheduler",
+    "HareScheduler",
+    "HeapTimeline",
+    "OnlineHareScheduler",
+    "RelaxationResult",
+    "RelaxationSolver",
+    "SchedAlloxScheduler",
+    "SchedHomoScheduler",
+    "Scheduler",
+    "SrtfScheduler",
+    "TimeSliceScheduler",
+    "all_schedulers",
+    "brute_force_optimal",
+    "check_gang_feasible",
+    "default_schedulers",
+    "fastest_free_gpus",
+    "gang_run_job",
+    "greedy_assignment",
+    "list_schedule",
+    "run_gang_scheduler",
+    "scheduler_by_name",
+    "strict_gang_schedule",
+]

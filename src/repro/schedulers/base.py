@@ -1,0 +1,221 @@
+"""Scheduler interface and shared machinery.
+
+Every scheme — Hare and the four baselines of §7.1 — is an *offline planner*:
+it receives a :class:`~repro.core.job.ProblemInstance` (jobs with arrival
+times, the ``T^c``/``T^s`` matrices) and emits a full
+:class:`~repro.core.schedule.Schedule`. Baselines that are conceptually
+online (FIFO, SRTF, AlloX) respect causality internally: every decision at
+virtual time ``t`` uses only jobs with ``a_n <= t``.
+
+The gang-execution helpers here are shared by the three baselines that give
+each job exclusive GPUs for its whole lifetime (Gavel_FIFO, SRTF,
+Sched_Homo): a job with sync scale ``s`` waits for ``s`` simultaneously free
+GPUs, pins one task per GPU per round, and releases the GPUs only at job
+completion (job-level non-preemption, as those systems enforce).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.errors import InfeasibleProblemError
+from ..core.job import Job, ProblemInstance
+from ..core.schedule import Schedule, TaskAssignment
+from ..core.types import TaskRef
+
+
+class Scheduler(ABC):
+    """Base class: turn a problem instance into a feasible schedule."""
+
+    #: Display name used in result tables (matches the paper's legend).
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        """Produce a schedule satisfying constraints (4)-(8)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def check_gang_feasible(instance: ProblemInstance) -> None:
+    """Gang schedulers need sync_scale <= number of GPUs for every job."""
+    for job in instance.jobs:
+        if job.sync_scale > instance.num_gpus:
+            raise InfeasibleProblemError(
+                f"job {job.job_id} needs {job.sync_scale} simultaneous GPUs "
+                f"but the cluster has {instance.num_gpus}"
+            )
+
+
+def gang_run_job(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    job: Job,
+    gpus: Sequence[int],
+    start: float,
+) -> float:
+    """Execute *job* with one task pinned per GPU, all rounds, from *start*.
+
+    Every round takes ``max_d (T^c + T^s)`` over the assigned GPUs — the
+    straggler effect that motivates the paper (§2.2.2): fast GPUs idle at
+    the barrier waiting for the slowest one. Returns the job completion
+    time ``C_n``.
+    """
+    if len(gpus) != job.sync_scale:
+        raise InfeasibleProblemError(
+            f"job {job.job_id} with scale {job.sync_scale} given "
+            f"{len(gpus)} GPUs"
+        )
+    round_time = max(instance.task_time(job.job_id, m) for m in gpus)
+    t = start
+    for r in range(job.num_rounds):
+        for slot, m in enumerate(gpus):
+            schedule.add(
+                TaskAssignment(
+                    task=TaskRef(job.job_id, r, slot),
+                    gpu=m,
+                    start=t,
+                    train_time=instance.tc(job.job_id, m),
+                    sync_time=instance.ts(job.job_id, m),
+                )
+            )
+        t += round_time
+    return t
+
+
+@dataclass(slots=True)
+class GangState:
+    """Virtual-time state of an event-driven gang scheduler."""
+
+    instance: ProblemInstance
+    #: per-GPU time at which the device becomes free
+    gpu_free: list[float] = field(default_factory=list)
+    #: job ids not yet started
+    waiting: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.gpu_free = [0.0] * self.instance.num_gpus
+        self.waiting = {j.job_id for j in self.instance.jobs}
+
+    def free_gpus(self, t: float) -> list[int]:
+        return [m for m, ft in enumerate(self.gpu_free) if ft <= t + 1e-12]
+
+    def arrived_waiting(self, t: float) -> list[int]:
+        return sorted(
+            n for n in self.waiting
+            if self.instance.jobs[n].arrival <= t + 1e-12
+        )
+
+    def next_event_after(self, t: float) -> float | None:
+        """Earliest future time a GPU frees or a waiting job arrives."""
+        candidates = [ft for ft in self.gpu_free if ft > t + 1e-12]
+        candidates += [
+            self.instance.jobs[n].arrival
+            for n in self.waiting
+            if self.instance.jobs[n].arrival > t + 1e-12
+        ]
+        return min(candidates) if candidates else None
+
+
+#: A gang policy inspects (state, time, runnable job ids, free gpus) and
+#: returns (job_id, chosen gpus) to start now, or None to wait.
+GangPolicy = Callable[
+    [GangState, float, list[int], list[int]], tuple[int, list[int]] | None
+]
+
+
+def run_gang_scheduler(
+    instance: ProblemInstance, policy: GangPolicy
+) -> Schedule:
+    """Drive a gang policy over virtual time until every job is scheduled."""
+    check_gang_feasible(instance)
+    schedule = Schedule(instance)
+    state = GangState(instance)
+    t = 0.0
+    guard = 0
+    max_iters = 4 * len(instance.jobs) * max(instance.num_gpus, 1) + 64
+    while state.waiting:
+        guard += 1
+        if guard > max_iters:  # pragma: no cover - defensive
+            raise InfeasibleProblemError(
+                "gang scheduler failed to make progress; check the policy"
+            )
+        runnable = state.arrived_waiting(t)
+        free = state.free_gpus(t)
+        decision = policy(state, t, runnable, free) if runnable else None
+        if decision is not None:
+            job_id, gpus = decision
+            job = instance.jobs[job_id]
+            start = max(t, job.arrival)
+            completion = gang_run_job(schedule, instance, job, gpus, start)
+            for m in gpus:
+                state.gpu_free[m] = completion
+            state.waiting.discard(job_id)
+            continue
+        nxt = state.next_event_after(t)
+        if nxt is None:
+            raise InfeasibleProblemError(
+                "no future events but jobs remain unscheduled"
+            )  # pragma: no cover - defensive
+        t = nxt
+    return schedule
+
+
+class ObliviousPicker:
+    """Heterogeneity-oblivious GPU selection: rotating round-robin.
+
+    A scheduler that believes all GPUs are identical spreads work across
+    them without preference; we model that with a rotating cursor over GPU
+    indices (deterministic, and unlike "always the lowest index" it
+    actually touches the whole cluster — including its slow devices).
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(self, free: Sequence[int], count: int) -> list[int]:
+        free_sorted = sorted(free)
+        if count > len(free_sorted):
+            raise InfeasibleProblemError(
+                f"picking {count} GPUs from {len(free_sorted)} free"
+            )
+        start = self._cursor % max(len(free_sorted), 1)
+        chosen = [
+            free_sorted[(start + i) % len(free_sorted)] for i in range(count)
+        ]
+        self._cursor += count
+        return chosen
+
+
+def fastest_free_gpus(
+    instance: ProblemInstance, job_id: int, free: Sequence[int], count: int
+) -> list[int]:
+    """The *count* free GPUs with smallest ``T^c + T^s`` for the job."""
+    ranked = sorted(free, key=lambda m: (instance.task_time(job_id, m), m))
+    return ranked[:count]
+
+
+class HeapTimeline:
+    """Min-heap over per-GPU available times φ_m (Algorithm 1, line 12).
+
+    ``pop_earliest`` returns the GPU with the smallest available time;
+    ``push`` re-inserts it with its updated time. Ties break on GPU index
+    for determinism.
+    """
+
+    def __init__(self, num_gpus: int) -> None:
+        self._heap: list[tuple[float, int]] = [(0.0, m) for m in range(num_gpus)]
+        heapq.heapify(self._heap)
+
+    def pop_earliest(self) -> tuple[float, int]:
+        return heapq.heappop(self._heap)
+
+    def push(self, available: float, gpu: int) -> None:
+        heapq.heappush(self._heap, (available, gpu))
+
+    def peek(self) -> tuple[float, int]:
+        return self._heap[0]

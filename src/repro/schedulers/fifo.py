@@ -1,0 +1,41 @@
+"""Gavel_FIFO baseline (§7.1).
+
+FIFO order by arrival, customized for heterogeneous GPUs the way Gavel [29]
+does: a starting job takes the *fastest* currently-free GPUs for itself. If
+fewer than ``sync_scale`` GPUs are free the job waits — and, being FIFO,
+blocks everything behind it (no backfilling), which is why the paper finds
+it has "the largest weighted JCT" despite heterogeneity awareness.
+"""
+
+from __future__ import annotations
+
+from ..core.job import ProblemInstance
+from ..core.schedule import Schedule
+from .base import (
+    GangState,
+    Scheduler,
+    fastest_free_gpus,
+    run_gang_scheduler,
+)
+
+
+class GavelFifoScheduler(Scheduler):
+    """Heterogeneity-aware FIFO with gang scheduling and no backfill."""
+
+    name = "Gavel_FIFO"
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        def policy(
+            state: GangState, t: float, runnable: list[int], free: list[int]
+        ) -> tuple[int, list[int]] | None:
+            # Head of line = earliest arrival (ties: lowest id). Only the
+            # head may start; if it does not fit, everyone waits.
+            head = min(
+                runnable, key=lambda n: (instance.jobs[n].arrival, n)
+            )
+            need = instance.jobs[head].sync_scale
+            if len(free) < need:
+                return None
+            return head, fastest_free_gpus(instance, head, free, need)
+
+        return run_gang_scheduler(instance, policy)

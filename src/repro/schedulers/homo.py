@@ -1,0 +1,66 @@
+"""Sched_Homo baseline: Zhang et al. [47], heterogeneity-oblivious.
+
+The original targets homogeneous GPUs and minimizes total weighted JCT by
+exploiting inter-job parallelism (many jobs share the cluster) and intra-job
+parallelism (a job's round runs its tasks in parallel), without job-level
+preemption. Transplanted onto a heterogeneous cluster — the experiment the
+paper runs — its two blind spots are:
+
+* **GPU choice is oblivious**: all GPUs look identical, so it grabs free
+  devices by index instead of matching jobs to the GPUs they benefit from;
+* **its job ordering uses homogeneous time estimates**: weighted shortest
+  processing time computed from the *cluster-average* task time, which
+  mis-ranks jobs whose speeds differ wildly across GPU types.
+
+Each round still synchronizes at the pace of the slowest assigned GPU, so
+mixed gangs waste the fast devices (Fig. 5/6) — the behaviour that makes
+this baseline lose to Hare most at high heterogeneity (Fig. 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.job import ProblemInstance
+from ..core.schedule import Schedule
+from .base import GangState, ObliviousPicker, Scheduler, run_gang_scheduler
+
+
+class SchedHomoScheduler(Scheduler):
+    """Weighted-SPT gang scheduler with heterogeneity-oblivious GPU picks."""
+
+    name = "Sched_Homo"
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        picker = ObliviousPicker()
+        # Homogeneous-world estimate of a job's total processing time: the
+        # cluster-average round time, times the number of rounds.
+        avg_round = np.mean(
+            instance.train_time + instance.sync_time, axis=1
+        )
+        est_total = np.array(
+            [
+                instance.jobs[n].num_rounds * avg_round[n]
+                for n in range(instance.num_jobs)
+            ]
+        )
+
+        def wspt_key(job_id: int) -> tuple[float, int]:
+            job = instance.jobs[job_id]
+            # Smallest processing-per-weight first (classic WSPT ordering).
+            return (est_total[job_id] / job.weight, job_id)
+
+        def policy(
+            state: GangState, t: float, runnable: list[int], free: list[int]
+        ) -> tuple[int, list[int]] | None:
+            fitting = [
+                n for n in runnable
+                if instance.jobs[n].sync_scale <= len(free)
+            ]
+            if not fitting:
+                return None
+            best = min(fitting, key=wspt_key)
+            need = instance.jobs[best].sync_scale
+            return best, picker.pick(free, need)
+
+        return run_gang_scheduler(instance, policy)

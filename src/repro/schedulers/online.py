@@ -1,0 +1,174 @@
+"""Online (non-clairvoyant) Hare — the paper's stated future work.
+
+The paper's Algorithm 1 is offline: it sees every job's arrival time in
+advance, which §1 lists as a limitation ("jobs arrive in different time and
+we cannot accurately predict future job arrivals. Online algorithms are
+needed"). This module implements the natural event-driven extension:
+
+* the scheduler re-plans at every job arrival, seeing only the jobs that
+  have arrived so far;
+* at each re-planning event it solves the relaxation over the *remaining*
+  rounds of known jobs (committed work is fixed), list-schedules them from
+  the GPUs' committed availability, and **commits only the rounds that
+  start before the next arrival** — everything later is provisional and
+  will be reconsidered when new information (the next job) lands;
+* at the final arrival the whole residual plan is committed.
+
+Commitment is at round granularity: once any task of a round is committed
+the whole round is (rounds are short; this keeps the residual problem a
+clean :class:`ProblemInstance`). The result is a complete, feasible
+schedule that was produced without ever using future-arrival knowledge —
+directly comparable against offline Hare to price clairvoyance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import SolverError
+from ..core.job import Job, ProblemInstance
+from ..core.schedule import Schedule, TaskAssignment
+from ..core.types import TaskRef
+from .base import Scheduler
+from .hare import (
+    AUTO_LP_TASK_LIMIT,
+    Placement,
+    _precedence_safe_order,
+    list_schedule,
+)
+from .relaxation import (
+    ExactRelaxationSolver,
+    FluidRelaxationSolver,
+    RelaxationSolver,
+)
+
+
+@dataclass(slots=True)
+class OnlineHareScheduler(Scheduler):
+    """Event-driven re-planning Hare without future-arrival knowledge."""
+
+    relaxation: str | RelaxationSolver = "fluid"
+    placement: Placement = "earliest_finish"
+    name: str = field(default="Hare_Online", init=False)
+    #: Number of re-planning events performed in the last run.
+    replans: int = field(default=0, init=False)
+
+    def _solver(self, instance: ProblemInstance) -> RelaxationSolver:
+        if not isinstance(self.relaxation, str):
+            return self.relaxation
+        if self.relaxation == "exact":
+            return ExactRelaxationSolver()
+        if self.relaxation == "fluid":
+            return FluidRelaxationSolver()
+        if self.relaxation == "auto":
+            if instance.num_tasks <= AUTO_LP_TASK_LIMIT:
+                return ExactRelaxationSolver()
+            return FluidRelaxationSolver()
+        raise SolverError(f"unknown relaxation {self.relaxation!r}")
+
+    # ------------------------------------------------------------------
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        committed = Schedule(instance)
+        num_gpus = instance.num_gpus
+        phi = [0.0] * num_gpus
+        #: rounds already committed per job, and the barrier they left
+        rounds_done = {j.job_id: 0 for j in instance.jobs}
+        ready_at = {j.job_id: j.arrival for j in instance.jobs}
+
+        arrival_times = sorted({j.arrival for j in instance.jobs})
+        self.replans = 0
+        for k, t in enumerate(arrival_times):
+            is_last = k == len(arrival_times) - 1
+            next_t = np.inf if is_last else arrival_times[k + 1]
+            known = [j for j in instance.jobs if j.arrival <= t + 1e-12]
+            residual_jobs: list[Job] = []
+            id_map: list[tuple[int, int]] = []  # local -> (global, round0)
+            for job in known:
+                done = rounds_done[job.job_id]
+                remaining = job.num_rounds - done
+                if remaining <= 0:
+                    continue
+                local_id = len(residual_jobs)
+                residual_jobs.append(
+                    Job(
+                        job_id=local_id,
+                        model=job.model,
+                        arrival=max(ready_at[job.job_id], job.arrival),
+                        weight=job.weight,
+                        num_rounds=remaining,
+                        sync_scale=job.sync_scale,
+                        batch_scale=job.batch_scale,
+                    )
+                )
+                id_map.append((job.job_id, done))
+            if not residual_jobs:
+                continue
+            globals_ = [g for g, _ in id_map]
+            residual = ProblemInstance(
+                jobs=residual_jobs,
+                train_time=instance.train_time[globals_],
+                sync_time=instance.sync_time[globals_],
+                gpu_labels=list(instance.gpu_labels),
+            )
+            relaxation = self._solver(residual).solve(residual)
+            order = _precedence_safe_order(residual, relaxation)
+            plan = list_schedule(
+                residual,
+                order,
+                placement=self.placement,
+                initial_phi=phi,
+            )
+            self.replans += 1
+            self._commit(
+                plan, residual, id_map, next_t, committed, phi,
+                rounds_done, ready_at,
+            )
+
+        if len(committed) != instance.num_tasks:  # pragma: no cover
+            raise SolverError(
+                f"online scheduler committed {len(committed)} of "
+                f"{instance.num_tasks} tasks"
+            )
+        return committed
+
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        plan: Schedule,
+        residual: ProblemInstance,
+        id_map: list[tuple[int, int]],
+        next_t: float,
+        committed: Schedule,
+        phi: list[float],
+        rounds_done: dict[int, int],
+        ready_at: dict[int, float],
+    ) -> None:
+        """Fix every residual round that starts before *next_t*."""
+        for local_job in residual.jobs:
+            global_id, round_offset = id_map[local_job.job_id]
+            for r in range(local_job.num_rounds):
+                tasks = local_job.round_tasks(r)
+                starts = [plan[task].start for task in tasks]
+                if min(starts) >= next_t - 1e-12:
+                    break  # later rounds are provisional
+                barrier = 0.0
+                for task in tasks:
+                    a = plan[task]
+                    global_task = TaskRef(
+                        global_id, round_offset + r, task.slot
+                    )
+                    committed.add(
+                        TaskAssignment(
+                            task=global_task,
+                            gpu=a.gpu,
+                            start=a.start,
+                            train_time=a.train_time,
+                            sync_time=a.sync_time,
+                        )
+                    )
+                    phi[a.gpu] = max(phi[a.gpu], a.compute_end)
+                    barrier = max(barrier, a.end)
+                rounds_done[global_id] += 1
+                ready_at[global_id] = barrier

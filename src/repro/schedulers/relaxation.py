@@ -1,0 +1,456 @@
+"""Step 1 of Hare's Algorithm 1: solving the relaxed problem Hare_Sched_RL.
+
+The paper relaxes the non-linear non-preemption constraint (8) into
+Queyranne's polyhedral constraint (9) and solves the resulting
+mixed-integer quadratic program with CPLEX/Gurobi. Neither solver is
+available here, so this module provides two substitutes (documented in
+DESIGN.md):
+
+:class:`ExactRelaxationSolver`
+    Fixes the GPU assignment ``ŷ`` with a speed-aware greedy (min-increase
+    of machine load), then solves the remaining *linear* program over start
+    times with **Queyranne cutting planes**: constraint (9) must hold for
+    every prefix of tasks on a machine (that is exactly what Lemma 2 uses),
+    and the most violated prefix is found by sorting tasks by ``x̂`` —
+    the classical separation routine for this polyhedron. Optionally
+    re-derives ``ŷ`` from the solved ``x̂`` and iterates.
+
+:class:`FluidRelaxationSolver`
+    An O(E log E) fluid approximation for large instances: jobs share the
+    cluster's aggregate capacity in proportion to their weights (capped by
+    their sync scale), and ``x̂`` of a round is the fluid time its work
+    starts. Produces the same *ordering signal* ``H_i`` that Algorithm 1
+    consumes; tests compare it against the exact solver on small instances.
+
+Both return :class:`RelaxationResult` with ``x̂_i`` and the middle
+completion times ``H_i = x̂_i + ½·max_m T^c_{i,m}`` that drive the list
+scheduling of step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from ..core.errors import SolverError
+from ..core.job import ProblemInstance
+from ..core.types import TaskRef
+
+
+@dataclass(frozen=True, slots=True)
+class RelaxationResult:
+    """Solution of the relaxed scheduling problem."""
+
+    #: Relaxed start time x̂_i per task.
+    x_hat: dict[TaskRef, float]
+    #: Middle completion time H_i = x̂_i + max_m T^c_{i,m} / 2.
+    h: dict[TaskRef, float]
+    #: Objective value of the relaxation (Σ w_n Ĉ_n).
+    objective: float
+    #: Assignment ŷ used by the solver (empty for the fluid solver).
+    y_hat: dict[TaskRef, int] = field(default_factory=dict)
+    #: Solver diagnostics.
+    iterations: int = 0
+    cuts_added: int = 0
+
+    def ordering(self) -> list[TaskRef]:
+        """Tasks sorted by non-descending H (Algorithm 1, line 4).
+
+        Ties break by (job, round, slot) so the order is deterministic and
+        respects round precedence within a job whenever H values tie.
+        """
+        return sorted(
+            self.x_hat,
+            key=lambda t: (self.h[t], t.job_id, t.round_idx, t.slot),
+        )
+
+
+class RelaxationSolver(Protocol):
+    """Anything that can produce x̂ / H for Algorithm 1."""
+
+    def solve(self, instance: ProblemInstance) -> RelaxationResult: ...
+
+
+def _middle_completion(
+    instance: ProblemInstance, x_hat: dict[TaskRef, float]
+) -> dict[TaskRef, float]:
+    half_max_tc = instance.train_time.max(axis=1) / 2.0
+    return {t: x + float(half_max_tc[t.job_id]) for t, x in x_hat.items()}
+
+
+def greedy_assignment(instance: ProblemInstance) -> dict[TaskRef, int]:
+    """Speed-aware greedy ŷ: each task to the GPU minimizing load + T^c.
+
+    Tasks are visited in (arrival, job, round, slot) order; per-GPU load is
+    the accumulated compute time. This is the classical list-scheduling
+    assignment for unrelated machines and serves as the fixed ŷ for the
+    cutting-plane LP.
+    """
+    load = np.zeros(instance.num_gpus)
+    y: dict[TaskRef, int] = {}
+    ordered = sorted(
+        instance.all_tasks(),
+        key=lambda t: (
+            instance.jobs[t.job_id].arrival,
+            t.job_id,
+            t.round_idx,
+            t.slot,
+        ),
+    )
+    for task in ordered:
+        tc_row = instance.train_time[task.job_id]
+        m = int(np.argmin(load + tc_row))
+        y[task] = m
+        load[m] += tc_row[m]
+    return y
+
+
+@dataclass(slots=True)
+class ExactRelaxationSolver:
+    """LP over start times with Queyranne prefix cuts (fixed greedy ŷ)."""
+
+    max_cut_rounds: int = 25
+    cut_tolerance: float = 1e-6
+    #: Re-derive ŷ from the solved x̂ and re-solve this many extra times.
+    reassignment_rounds: int = 0
+
+    def solve(self, instance: ProblemInstance) -> RelaxationResult:
+        y = greedy_assignment(instance)
+        result = self._solve_fixed_y(instance, y)
+        for _ in range(self.reassignment_rounds):
+            y = self._reassign(instance, result)
+            result = self._solve_fixed_y(instance, y)
+        return result
+
+    # ------------------------------------------------------------------
+    def _reassign(
+        self, instance: ProblemInstance, result: RelaxationResult
+    ) -> dict[TaskRef, int]:
+        """New ŷ: sweep tasks in x̂ order, place on least-loaded GPU."""
+        load = np.zeros(instance.num_gpus)
+        y: dict[TaskRef, int] = {}
+        for task in sorted(result.x_hat, key=lambda t: result.x_hat[t]):
+            tc_row = instance.train_time[task.job_id]
+            m = int(np.argmin(load + tc_row))
+            y[task] = m
+            load[m] += tc_row[m]
+        return y
+
+    def _solve_fixed_y(
+        self, instance: ProblemInstance, y: dict[TaskRef, int]
+    ) -> RelaxationResult:
+        tasks = list(instance.all_tasks())
+        t_index = {t: i for i, t in enumerate(tasks)}
+        n_x = len(tasks)
+
+        # Barrier variables b_{n,r}, one per (job, round).
+        b_index: dict[tuple[int, int], int] = {}
+        for job in instance.jobs:
+            for r in range(job.num_rounds):
+                b_index[(job.job_id, r)] = n_x + len(b_index)
+        n_vars = n_x + len(b_index)
+
+        # Durations on the assigned GPU.
+        p = np.array(
+            [instance.task_time(t.job_id, y[t]) for t in tasks]
+        )  # T^c + T^s
+        q = np.array([instance.tc(t.job_id, y[t]) for t in tasks])  # T^c
+
+        c = np.zeros(n_vars)
+        for job in instance.jobs:
+            c[b_index[(job.job_id, job.num_rounds - 1)]] = job.weight
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        rhs: list[float] = []
+
+        def add_row(entries: list[tuple[int, float]], bound: float) -> None:
+            r = len(rhs)
+            for col, val in entries:
+                rows.append(r)
+                cols.append(col)
+                vals.append(val)
+            rhs.append(bound)
+
+        # (6)-style: x_i + p_i <= b_{n,r}
+        for i, task in enumerate(tasks):
+            add_row(
+                [(i, 1.0), (b_index[(task.job_id, task.round_idx)], -1.0)],
+                -p[i],
+            )
+        # (7): b_{n,r-1} <= x_j for j in round r
+        for i, task in enumerate(tasks):
+            if task.round_idx > 0:
+                add_row(
+                    [(b_index[(task.job_id, task.round_idx - 1)], 1.0), (i, -1.0)],
+                    0.0,
+                )
+
+        # Machine task lists for cut separation.
+        machine_tasks: dict[int, list[int]] = {}
+        for i, task in enumerate(tasks):
+            machine_tasks.setdefault(y[task], []).append(i)
+
+        def add_cut(subset: list[int]) -> None:
+            qs = q[subset]
+            bound = 0.5 * (qs.sum() ** 2 + (qs**2).sum())
+            # sum q_i (x_i + q_i) >= bound  ->  -sum q_i x_i <= q.q - bound
+            add_row([(i, -float(q[i])) for i in subset], float((qs**2).sum()) - bound)
+
+        # Initial cuts: the full set on each machine (constraint (9) itself).
+        for subset in machine_tasks.values():
+            add_cut(subset)
+
+        lb = np.zeros(n_vars)
+        for i, task in enumerate(tasks):
+            lb[i] = instance.jobs[task.job_id].arrival
+        bounds = [(float(lb[i]), None) for i in range(n_vars)]
+
+        cuts_added = 0
+        x_sol = np.zeros(n_vars)
+        objective = 0.0
+        iteration = 0
+        for iteration in range(1, self.max_cut_rounds + 1):
+            a_ub = sparse.coo_matrix(
+                (vals, (rows, cols)), shape=(len(rhs), n_vars)
+            ).tocsr()
+            res = linprog(
+                c, A_ub=a_ub, b_ub=np.array(rhs), bounds=bounds, method="highs"
+            )
+            if not res.success:
+                raise SolverError(f"LP failed: {res.message}")
+            x_sol = res.x
+            objective = float(res.fun)
+            new_cuts = self._separate(machine_tasks, q, x_sol)
+            if not new_cuts:
+                break
+            for subset in new_cuts:
+                add_cut(subset)
+            cuts_added += len(new_cuts)
+
+        x_hat = {t: float(x_sol[t_index[t]]) for t in tasks}
+        return RelaxationResult(
+            x_hat=x_hat,
+            h=_middle_completion(instance, x_hat),
+            objective=objective,
+            y_hat=dict(y),
+            iterations=iteration,
+            cuts_added=cuts_added,
+        )
+
+    def _separate(
+        self,
+        machine_tasks: dict[int, list[int]],
+        q: np.ndarray,
+        x_sol: np.ndarray,
+    ) -> list[list[int]]:
+        """Most-violated prefix constraint per machine (if any)."""
+        new_cuts: list[list[int]] = []
+        for subset in machine_tasks.values():
+            order = sorted(subset, key=lambda i: (x_sol[i], i))
+            qs = q[order]
+            xs = x_sol[order]
+            lhs = np.cumsum(qs * xs)  # Σ q x over prefixes
+            csum = np.cumsum(qs)
+            csq = np.cumsum(qs**2)
+            bound = 0.5 * (csum**2 + csq) - csq  # rhs of -Σqx <= ... inverted
+            violation = bound - lhs  # >0 means prefix violated
+            k = int(np.argmax(violation))
+            if violation[k] > self.cut_tolerance * max(1.0, abs(bound[k])):
+                new_cuts.append(order[: k + 1])
+        return new_cuts
+
+
+@dataclass(slots=True)
+class FluidRelaxationSolver:
+    """Weighted-density fluid approximation of the relaxation.
+
+    The cluster offers ``M`` GPU-equivalents of capacity. The MIQP's
+    objective Σ w_n C_n implicitly favours heavy, short jobs, so the fluid
+    serves arrived jobs in **weighted-shortest-processing-time order**
+    (density ``w_n / total work``, the fluid-optimal single-server policy):
+    the densest job receives capacity up to its ``sync_scale`` cap (a round
+    cannot use more GPUs than it has tasks), then the next densest, until
+    capacity runs out. A job's round is ``sync_scale`` tasks of its
+    *cluster-average* task time; a round's ``x̂`` is the fluid time its
+    work begins.
+
+    With ``fair_share=True`` capacity is instead split proportionally to
+    weights (max-min water-filling) — kept as an ablation of the priority
+    rule.
+    """
+
+    #: Use the harmonic mean of per-GPU times instead of the arithmetic
+    #: mean as the job's representative task time (harmonic = throughput-
+    #: weighted, slightly favours jobs with strong fast-GPU affinity).
+    harmonic: bool = False
+    #: Egalitarian weighted fair sharing instead of WSPT priority.
+    fair_share: bool = False
+
+    def solve(self, instance: ProblemInstance) -> RelaxationResult:
+        jobs = instance.jobs
+        num_jobs = len(jobs)
+        if self.harmonic:
+            rep = instance.num_gpus / (
+                (1.0 / (instance.train_time + instance.sync_time)).sum(axis=1)
+            )
+        else:
+            rep = (instance.train_time + instance.sync_time).mean(axis=1)
+
+        total_work = np.array(
+            [jobs[n].num_rounds * jobs[n].sync_scale * rep[n] for n in range(num_jobs)]
+        )
+        remaining = total_work.copy()
+        weights = np.array([j.weight for j in jobs], dtype=float)
+        caps = np.array([float(j.sync_scale) for j in jobs])
+        arrivals = np.array([j.arrival for j in jobs])
+
+        # Work-completed breakpoints: (time, done) piecewise-linear curves.
+        breakpoints: list[list[tuple[float, float]]] = [
+            [(arrivals[n], 0.0)] for n in range(num_jobs)
+        ]
+        active = np.zeros(num_jobs, dtype=bool)
+        finished = np.zeros(num_jobs, dtype=bool)
+        t = 0.0
+        capacity = float(instance.num_gpus)
+        pending_arrivals = sorted(range(num_jobs), key=lambda n: arrivals[n])
+        arr_ptr = 0
+        guard = 0
+        while not finished.all():
+            guard += 1
+            if guard > 8 * num_jobs + 64:  # pragma: no cover - defensive
+                raise SolverError("fluid solver failed to converge")
+            while arr_ptr < num_jobs and arrivals[pending_arrivals[arr_ptr]] <= t + 1e-12:
+                n = pending_arrivals[arr_ptr]
+                if not finished[n]:
+                    active[n] = True
+                arr_ptr += 1
+            act = np.where(active)[0]
+            if len(act) == 0:
+                if arr_ptr >= num_jobs:
+                    raise SolverError(
+                        "fluid solver: no active jobs and none arriving"
+                    )  # pragma: no cover - defensive
+                t = float(arrivals[pending_arrivals[arr_ptr]])
+                continue
+            if self.fair_share:
+                rates = _water_fill(weights[act], caps[act], capacity)
+            else:
+                rates = _density_fill(
+                    weights[act], total_work[act], caps[act], capacity
+                )
+            # Next event: a job finishing or the next arrival.
+            with np.errstate(divide="ignore"):
+                finish_dt = np.where(rates > 0, remaining[act] / rates, np.inf)
+            dt = float(finish_dt.min())
+            next_arrival = (
+                float(arrivals[pending_arrivals[arr_ptr]])
+                if arr_ptr < num_jobs
+                else np.inf
+            )
+            dt = min(dt, next_arrival - t)
+            if not np.isfinite(dt) or dt < 0:
+                raise SolverError("fluid solver produced a bad step")
+            t_next = t + dt
+            for idx, n in enumerate(act):
+                done_before = total_work[n] - remaining[n]
+                remaining[n] = max(0.0, remaining[n] - rates[idx] * dt)
+                done_after = total_work[n] - remaining[n]
+                if done_after > done_before:
+                    breakpoints[n].append((t_next, done_after))
+                if remaining[n] <= 1e-12:
+                    finished[n] = True
+                    active[n] = False
+            t = t_next
+
+        # Invert the work curves to get round start times.
+        x_hat: dict[TaskRef, float] = {}
+        for n, job in enumerate(jobs):
+            round_work = job.sync_scale * rep[n]
+            curve = breakpoints[n]
+            for r in range(job.num_rounds):
+                target = r * round_work
+                start = _invert_curve(curve, target)
+                for d in range(job.sync_scale):
+                    x_hat[TaskRef(n, r, d)] = start
+
+        h = _middle_completion(instance, x_hat)
+        objective = float(
+            sum(
+                jobs[n].weight * breakpoints[n][-1][0]
+                for n in range(num_jobs)
+            )
+        )
+        return RelaxationResult(x_hat=x_hat, h=h, objective=objective)
+
+
+def _density_fill(
+    weights: np.ndarray,
+    total_work: np.ndarray,
+    caps: np.ndarray,
+    capacity: float,
+) -> np.ndarray:
+    """WSPT-priority rates: densest jobs first, each capped at sync_scale.
+
+    Density is ``w_n / total work`` (static, so a job's priority does not
+    drift as it progresses — the classic WSPT rule). Ties break toward the
+    lower index for determinism.
+    """
+    n = len(weights)
+    density = weights / np.maximum(total_work, 1e-300)
+    order = sorted(range(n), key=lambda i: (-density[i], i))
+    rates = np.zeros(n)
+    remaining = capacity
+    for i in order:
+        if remaining <= 1e-15:
+            break
+        give = min(caps[i], remaining)
+        rates[i] = give
+        remaining -= give
+    return rates
+
+
+def _water_fill(
+    weights: np.ndarray, caps: np.ndarray, capacity: float
+) -> np.ndarray:
+    """Weighted max-min fair rates with per-job caps.
+
+    Distributes *capacity* proportionally to *weights*, clamping each job at
+    its cap and re-distributing the surplus among unclamped jobs.
+    """
+    n = len(weights)
+    rates = np.zeros(n)
+    unclamped = np.ones(n, dtype=bool)
+    remaining_cap = capacity
+    for _ in range(n):
+        idx = np.where(unclamped)[0]
+        if len(idx) == 0 or remaining_cap <= 1e-15:
+            break
+        share = remaining_cap * weights[idx] / weights[idx].sum()
+        over = share >= caps[idx] - 1e-15
+        if not over.any():
+            rates[idx] = share
+            break
+        hit = idx[over]
+        rates[hit] = caps[hit]
+        remaining_cap -= float(caps[hit].sum())
+        unclamped[hit] = False
+    return rates
+
+
+def _invert_curve(curve: list[tuple[float, float]], target: float) -> float:
+    """Earliest time the piecewise-linear work curve reaches *target*."""
+    if target <= 0:
+        return curve[0][0]
+    for (t0, w0), (t1, w1) in zip(curve, curve[1:]):
+        if w1 >= target - 1e-12:
+            if w1 == w0:
+                return t1
+            frac = (target - w0) / (w1 - w0)
+            return t0 + frac * (t1 - t0)
+    return curve[-1][0]

@@ -1,0 +1,55 @@
+"""SRTF baseline (§7.1): Shortest Remaining Time First.
+
+At every decision point the waiting job with the smallest *remaining
+runtime estimate* starts first. The paper lists SRTF as a generic baseline
+("widely adopted to minimize total job completion time") without Gavel's
+heterogeneity customization, so this implementation is
+heterogeneity-oblivious like the classic policy: runtimes are estimated
+with the cluster-average task time and GPUs are grabbed by index, whatever
+their type. Jobs are not preempted once started (the common non-preemptive
+DML variant — checkpoint/restart of arbitrary jobs is exactly what these
+systems avoid), so "remaining" equals "total" for every queued job.
+
+Unlike FIFO there is no head-of-line blocking: if the shortest job needs
+more GPUs than are free, the next-shortest job that fits may start
+(shortest-first backfilling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.job import ProblemInstance
+from ..core.schedule import Schedule
+from .base import GangState, ObliviousPicker, Scheduler, run_gang_scheduler
+
+
+class SrtfScheduler(Scheduler):
+    """Non-preemptive shortest-remaining-time-first with gang execution."""
+
+    name = "SRTF"
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        picker = ObliviousPicker()
+        avg_round = np.mean(instance.train_time + instance.sync_time, axis=1)
+        est_total = np.array(
+            [
+                instance.jobs[n].num_rounds * avg_round[n]
+                for n in range(instance.num_jobs)
+            ]
+        )
+
+        def policy(
+            state: GangState, t: float, runnable: list[int], free: list[int]
+        ) -> tuple[int, list[int]] | None:
+            fitting = [
+                n for n in runnable
+                if instance.jobs[n].sync_scale <= len(free)
+            ]
+            if not fitting:
+                return None
+            best = min(fitting, key=lambda n: (est_total[n], n))
+            need = instance.jobs[best].sync_scale
+            return best, picker.pick(free, need)
+
+        return run_gang_scheduler(instance, policy)

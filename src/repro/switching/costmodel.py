@@ -1,0 +1,219 @@
+"""Task-switch cost model: DEFAULT vs PipeSwitch vs Hare (§4, Table 3).
+
+A *task switch* happens when a GPU runs a task of a different job than the
+previous one. The three implementations:
+
+DEFAULT
+    Sequential clean-then-init: free the predecessor's memory, destroy and
+    re-create the CUDA context, relaunch/reinitialize the framework worker,
+    cudaMalloc the working set, and copy the model unpipelined. The
+    framework (re)initialization — process spawn, CUDA/cuDNN handles, kernel
+    autotuning/JIT — dominates and is model-dependent; we carry it as a
+    per-model calibrated constant backed out of Table 3's "Default" row.
+PIPESWITCH
+    Contexts pre-created, worker processes kept on standby, model uploaded
+    with the layered pipeline of :mod:`repro.switching.pipeline`. Only the
+    pipeline's critical path remains.
+HARE
+    PipeSwitch plus early task cleaning (successor pre-loads during the
+    predecessor's backward pass) and speculative memory management (a
+    retention *hit* skips the transfer entirely).
+
+Consecutive tasks of the *same job* share context and weights and pay no
+switch cost in any mode (§3: "several consecutive tasks on a GPU belong to
+the same job and they share the same GPU context").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.gpu import GPUSpec
+from ..core.errors import ConfigurationError
+from ..core.types import ModelName, SwitchMode
+from ..workload.models import spec_or_synthetic
+from .pipeline import PipelineParams, pipelined_transfer, sequential_transfer
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchCalibration:
+    """Per-model calibration constants.
+
+    ``framework_init_s`` reproduces the Table 3 "Default" row (it is the
+    measured default switch time minus the first-principles components).
+    ``nonoverlap_fraction`` is the share of the pipelined transfer that
+    cannot hide behind execution — small models train too fast to offer
+    cover, so their fraction approaches 1.
+    """
+
+    framework_init_s: float
+    nonoverlap_fraction: float
+
+
+#: Calibrated against Table 3 (V100, PCIe 3.0 x16).
+CALIBRATION: dict[ModelName, SwitchCalibration] = {
+    ModelName.VGG19: SwitchCalibration(2.52, 0.025),
+    ModelName.RESNET50: SwitchCalibration(5.26, 0.21),
+    ModelName.INCEPTION_V3: SwitchCalibration(7.12, 0.25),
+    ModelName.BERT_BASE: SwitchCalibration(8.17, 0.30),
+    ModelName.TRANSFORMER: SwitchCalibration(4.47, 0.42),
+    ModelName.DEEPSPEECH: SwitchCalibration(4.41, 0.60),
+    ModelName.FASTGCN: SwitchCalibration(4.76, 1.00),
+    ModelName.GRAPHSAGE: SwitchCalibration(4.65, 1.00),
+}
+
+#: Fallback for models outside the zoo (synthetic tests).
+_DEFAULT_CALIBRATION = SwitchCalibration(4.5, 0.5)
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchBreakdown:
+    """Component view of one switch cost (seconds)."""
+
+    cleanup_s: float = 0.0
+    context_s: float = 0.0
+    framework_init_s: float = 0.0
+    malloc_s: float = 0.0
+    transfer_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.cleanup_s
+            + self.context_s
+            + self.framework_init_s
+            + self.malloc_s
+            + self.transfer_s
+        )
+
+
+@dataclass(slots=True)
+class SwitchCostModel:
+    """Computes task-switch costs for one switching implementation."""
+
+    mode: SwitchMode = SwitchMode.HARE
+    pipeline: PipelineParams = field(default_factory=PipelineParams)
+    #: Cost when the successor belongs to the same job (shared context).
+    same_job_cost_s: float = 0.0
+    #: Pointer bookkeeping when the predecessor is cleaned lazily
+    #: (PipeSwitch) vs eagerly overlapped (Hare early cleaning).
+    pointer_free_s: float = 3e-4
+    overlapped_cleanup_s: float = 1e-4
+    #: Hare per-group sync shrink: memory is already free when groups land.
+    hare_sync_factor: float = 0.6
+    #: Switch cost on a speculative-memory retention hit.
+    warm_start_s: float = 5e-4
+
+    def calibration_for(self, model: str) -> SwitchCalibration:
+        try:
+            return CALIBRATION[ModelName(model)]
+        except ValueError:
+            return _DEFAULT_CALIBRATION
+
+    # ------------------------------------------------------------------
+    def breakdown(
+        self,
+        next_model: str,
+        gpu: GPUSpec,
+        *,
+        same_job: bool = False,
+        retained_hit: bool = False,
+    ) -> SwitchBreakdown:
+        """Component costs of switching the GPU to a task of *next_model*."""
+        if same_job:
+            return SwitchBreakdown(context_s=self.same_job_cost_s)
+        spec = spec_or_synthetic(next_model)
+        calib = self.calibration_for(next_model)
+        layers = spec.layer_bytes()
+        working = spec.training_memory_bytes()
+
+        if self.mode is SwitchMode.DEFAULT:
+            cleanup = 0.1 + working / gpu.mem_bandwidth * 10  # scrub + free
+            return SwitchBreakdown(
+                cleanup_s=cleanup,
+                context_s=gpu.context_create_s,
+                framework_init_s=calib.framework_init_s,
+                malloc_s=working / gpu.malloc_gb_per_s,
+                transfer_s=sequential_transfer(layers, gpu.pcie_bandwidth),
+            )
+
+        if self.mode is SwitchMode.PIPESWITCH:
+            xfer = pipelined_transfer(
+                layers,
+                gpu.pcie_bandwidth,
+                params=self.pipeline,
+                nonoverlap_fraction=calib.nonoverlap_fraction,
+                early_cleaning=False,
+            )
+            return SwitchBreakdown(
+                cleanup_s=self.pointer_free_s, transfer_s=xfer.total_s
+            )
+
+        if self.mode is SwitchMode.HARE:
+            if retained_hit:
+                return SwitchBreakdown(
+                    cleanup_s=self.overlapped_cleanup_s,
+                    transfer_s=self.warm_start_s,
+                )
+            xfer = pipelined_transfer(
+                layers,
+                gpu.pcie_bandwidth,
+                params=self.pipeline,
+                nonoverlap_fraction=calib.nonoverlap_fraction,
+                early_cleaning=True,
+            )
+            total = (
+                xfer.startup_s
+                + xfer.first_group_s
+                + xfer.sync_s * self.hare_sync_factor
+                + xfer.residual_s
+            )
+            return SwitchBreakdown(
+                cleanup_s=self.overlapped_cleanup_s, transfer_s=total
+            )
+
+        raise ConfigurationError(f"unknown switch mode {self.mode!r}")
+
+    def cost(
+        self,
+        next_model: str,
+        gpu: GPUSpec,
+        *,
+        same_job: bool = False,
+        retained_hit: bool = False,
+    ) -> float:
+        """Seconds of GPU dead time for one task switch."""
+        return self.breakdown(
+            next_model, gpu, same_job=same_job, retained_hit=retained_hit
+        ).total_s
+
+
+def switch_time_table(gpu: GPUSpec) -> dict[ModelName, dict[SwitchMode, float]]:
+    """The Table 3 grid: per-model cold-switch cost under each mode."""
+    out: dict[ModelName, dict[SwitchMode, float]] = {}
+    for model in CALIBRATION:
+        out[model] = {
+            mode: SwitchCostModel(mode=mode).cost(model.value, gpu)
+            for mode in SwitchMode
+        }
+    return out
+
+
+def switching_ratio(
+    model_a: str,
+    model_b: str,
+    gpu: GPUSpec,
+    batch_time_a: float,
+    batch_time_b: float,
+    *,
+    mode: SwitchMode = SwitchMode.DEFAULT,
+) -> float:
+    """The Fig. 7 metric ``Ω = t_sw / (t_c^a + t_c^b)``.
+
+    Two jobs alternate batch-by-batch on one GPU; each alternation pays one
+    switch into each model. Ω compares a full switch pair against the pair
+    of batch times.
+    """
+    cm = SwitchCostModel(mode=mode)
+    t_sw = cm.cost(model_a, gpu) + cm.cost(model_b, gpu)
+    return t_sw / (batch_time_a + batch_time_b)

@@ -1,0 +1,177 @@
+"""Speculative GPU memory management (§4).
+
+Hare knows each GPU's task sequence in advance (the schedule is offline), so
+instead of wiping a task's memory on completion it *retains* model weights
+that a later task on the same GPU will reuse. The paper's policy is a simple
+greedy: give the next task's working set absolute priority, then keep the
+models of the most recently completed tasks for as long as they fit.
+
+:class:`GpuMemoryManager` is the runtime state machine the simulator drives;
+it enforces capacity, implements the greedy retention policy, and reports
+whether each task switch was a *retention hit* (model already resident → the
+transfer is skipped entirely).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..core.errors import MemoryModelError
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchDecision:
+    """Outcome of preparing a GPU for a task."""
+
+    model: str
+    retained_hit: bool
+    evicted: tuple[str, ...]
+
+    @property
+    def needs_transfer(self) -> bool:
+        return not self.retained_hit
+
+
+@dataclass(slots=True)
+class GpuMemoryManager:
+    """Tracks resident model weights and the active task's working set.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable device memory.
+    retention_enabled:
+        If False (DEFAULT / PIPESWITCH semantics) completed tasks are wiped
+        and every switch transfers the model anew.
+    """
+
+    capacity_bytes: float
+    retention_enabled: bool = True
+    #: model name -> retained weight bytes, in completion order (oldest first)
+    _retained: OrderedDict[str, float] = field(default_factory=OrderedDict)
+    _active_model: str | None = None
+    _active_bytes: float = 0.0
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise MemoryModelError("capacity_bytes must be > 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def retained_bytes(self) -> float:
+        return float(sum(self._retained.values()))
+
+    @property
+    def used_bytes(self) -> float:
+        return self.retained_bytes + self._active_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def resident_models(self) -> tuple[str, ...]:
+        return tuple(self._retained)
+
+    def is_resident(self, model: str) -> bool:
+        return model in self._retained
+
+    # ------------------------------------------------------------------
+    def begin_task(self, model: str, working_bytes: float) -> SwitchDecision:
+        """Prepare the GPU for a task of *model* needing *working_bytes*.
+
+        Returns whether the model weights were already resident (retention
+        hit) and which retained models had to be evicted to make room. The
+        next task always outranks retained models (the paper's priority
+        rule), so eviction proceeds oldest-first until the task fits.
+        """
+        if self._active_model is not None:
+            raise MemoryModelError(
+                f"begin_task({model}) while {self._active_model} is active"
+            )
+        if working_bytes <= 0:
+            raise MemoryModelError("working_bytes must be > 0")
+        if working_bytes > self.capacity_bytes:
+            raise MemoryModelError(
+                f"task of {model} needs {working_bytes:.3e} B but GPU has "
+                f"{self.capacity_bytes:.3e} B"
+            )
+        hit = False
+        if self.retention_enabled and model in self._retained:
+            # The retained weights become part of the task's working set.
+            self._retained.pop(model)
+            hit = True
+        evicted: list[str] = []
+        while self.retained_bytes + working_bytes > self.capacity_bytes:
+            if not self._retained:
+                raise MemoryModelError(
+                    "capacity accounting error: nothing left to evict"
+                )  # pragma: no cover - guarded by the fit check above
+            victim, _ = self._retained.popitem(last=False)  # oldest first
+            evicted.append(victim)
+        self._active_model = model
+        self._active_bytes = working_bytes
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return SwitchDecision(
+            model=model, retained_hit=hit, evicted=tuple(evicted)
+        )
+
+    def end_task(self, *, retain_bytes: float | None = None) -> None:
+        """Complete the active task, retaining its model weights if enabled.
+
+        ``retain_bytes`` defaults to 0 when retention is disabled; when
+        enabled the caller passes the model's weight bytes (activations are
+        always freed — that is the early-cleaning part).
+        """
+        if self._active_model is None:
+            raise MemoryModelError("end_task with no active task")
+        model = self._active_model
+        self._active_model = None
+        self._active_bytes = 0.0
+        if not self.retention_enabled or not retain_bytes:
+            return
+        if retain_bytes < 0:
+            raise MemoryModelError("retain_bytes must be >= 0")
+        # Re-inserting moves the model to the newest position.
+        self._retained.pop(model, None)
+        if retain_bytes <= self.capacity_bytes:
+            self._retained[model] = float(retain_bytes)
+            # Greedy: drop oldest retained models if we now exceed capacity.
+            while self.retained_bytes > self.capacity_bytes:
+                self._retained.popitem(last=False)
+
+    def flush(self) -> None:
+        """Wipe all retained state (e.g. when the executor restarts)."""
+        if self._active_model is not None:
+            raise MemoryModelError("cannot flush while a task is active")
+        self._retained.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def plan_retention_hits(
+    sequence: list[str],
+    model_weight_bytes: dict[str, float],
+    model_working_bytes: dict[str, float],
+    capacity_bytes: float,
+) -> list[bool]:
+    """Offline prediction of which tasks in a GPU's sequence hit retention.
+
+    Replays the greedy policy over a task-model sequence; used by schedulers
+    or analyses that want switch costs without running the simulator.
+    """
+    mgr = GpuMemoryManager(capacity_bytes=capacity_bytes)
+    hits: list[bool] = []
+    for model in sequence:
+        decision = mgr.begin_task(model, model_working_bytes[model])
+        hits.append(decision.retained_hit)
+        mgr.end_task(retain_bytes=model_weight_bytes[model])
+    return hits

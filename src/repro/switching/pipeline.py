@@ -1,0 +1,138 @@
+"""PipeSwitch-style layered, pipelined model transmission (§4).
+
+PipeSwitch [8] exploits the layered structure of neural networks: layers are
+copied host→GPU one group at a time while earlier groups already execute, so
+most of the transfer hides behind computation. What remains on the critical
+path of a task switch is:
+
+* a fixed pipeline startup (IPC with the standby worker process, pointer
+  bookkeeping);
+* the transfer of the *first* group — nothing can execute before it lands;
+* per-group synchronization overhead (one CUDA event/stream sync per group);
+* a residual, model-dependent fraction of the transfer that fails to overlap
+  (layers whose transfer outlasts the computation available to hide it).
+
+The same machinery models Hare's improvements: *early task cleaning* lets
+the successor's first groups upload during the predecessor's backward pass
+(shrinking the startup and first-group terms), and shortens per-group syncs
+because memory is already free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineParams:
+    """Tunables of the pipelined-transfer model.
+
+    All times in seconds. Defaults calibrated jointly with
+    :mod:`repro.switching.costmodel` against Table 3.
+    """
+
+    startup_s: float = 1.7e-3
+    per_group_sync_s: float = 5e-5
+    group_size: int = 2  # layers per transfer group (PipeSwitch groups)
+
+    def __post_init__(self) -> None:
+        if self.startup_s < 0 or self.per_group_sync_s < 0:
+            raise ConfigurationError("pipeline times must be >= 0")
+        if self.group_size < 1:
+            raise ConfigurationError("group_size must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class TransferBreakdown:
+    """Critical-path components of one pipelined model upload."""
+
+    startup_s: float
+    first_group_s: float
+    sync_s: float
+    residual_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.startup_s + self.first_group_s + self.sync_s + self.residual_s
+
+
+def group_layers(layer_bytes: np.ndarray, group_size: int) -> list[float]:
+    """Sum consecutive layers into transfer groups (bytes per group)."""
+    layers = np.asarray(layer_bytes, dtype=float)
+    if layers.ndim != 1 or len(layers) == 0:
+        raise ConfigurationError("layer_bytes must be a non-empty 1-D array")
+    groups = [
+        float(layers[i : i + group_size].sum())
+        for i in range(0, len(layers), group_size)
+    ]
+    return groups
+
+
+def pipelined_transfer(
+    layer_bytes: np.ndarray,
+    pcie_bandwidth: float,
+    *,
+    params: PipelineParams | None = None,
+    nonoverlap_fraction: float = 0.1,
+    early_cleaning: bool = False,
+) -> TransferBreakdown:
+    """Critical-path cost of uploading a model with pipelining.
+
+    Parameters
+    ----------
+    layer_bytes:
+        Per-layer parameter bytes, in execution order.
+    pcie_bandwidth:
+        Host→device bandwidth in bytes/s.
+    nonoverlap_fraction:
+        Model-dependent fraction of total transfer that cannot hide behind
+        execution (calibrated per model in the cost model).
+    early_cleaning:
+        Hare's early task cleaning: the predecessor frees each layer's
+        memory as its backward pass completes, so the successor's first
+        groups upload while the predecessor still runs. This hides the
+        first-group transfer and most of the startup, and halves the
+        residual (more upload window is available).
+    """
+    params = params or PipelineParams()
+    if pcie_bandwidth <= 0:
+        raise ConfigurationError("pcie_bandwidth must be > 0")
+    if not 0 <= nonoverlap_fraction <= 1:
+        raise ConfigurationError("nonoverlap_fraction must be in [0, 1]")
+    groups = group_layers(layer_bytes, params.group_size)
+    total_bytes = float(sum(groups))
+    first_group_s = groups[0] / pcie_bandwidth
+    sync_s = len(groups) * params.per_group_sync_s
+    residual_s = nonoverlap_fraction * total_bytes / pcie_bandwidth
+    startup_s = params.startup_s
+    if early_cleaning:
+        startup_s *= 0.5
+        first_group_s *= 0.25
+        residual_s *= 0.5
+    return TransferBreakdown(
+        startup_s=startup_s,
+        first_group_s=first_group_s,
+        sync_s=sync_s,
+        residual_s=residual_s,
+    )
+
+
+def sequential_transfer(
+    layer_bytes: np.ndarray,
+    pcie_bandwidth: float,
+    *,
+    per_layer_launch_s: float = 2e-4,
+) -> float:
+    """Unpipelined upload: full model transfer plus per-layer launch cost.
+
+    This is the DEFAULT switching path: the model moves host→GPU after the
+    environment is (re)built, with nothing to overlap against.
+    """
+    layers = np.asarray(layer_bytes, dtype=float)
+    if pcie_bandwidth <= 0:
+        raise ConfigurationError("pcie_bandwidth must be > 0")
+    return float(layers.sum()) / pcie_bandwidth + len(layers) * per_layer_launch_s

@@ -1,0 +1,229 @@
+"""Offline retention planning for speculative memory management (§4).
+
+The paper's runtime policy is greedy ("keep models of latest completed
+tasks until they cannot be accommodated") and notes that the problem could
+instead be "formulated as an optimization problem and solved to get the
+optimal solution", but that the greedy "works sufficiently well in
+practice". This module provides the machinery to check that claim:
+
+* :class:`BeladyPlanner` — since Hare's schedule is offline, each GPU's
+  task-model sequence is known in advance, so eviction can use Belady's
+  rule (evict the resident model whose *next use* is farthest in the
+  future), which is optimal for uniform-size caches and a strong heuristic
+  for weighted ones;
+* :func:`optimal_retention_cost` — exact minimum transfer cost via dynamic
+  programming over resident-model sets, feasible for the small model
+  universes of real GPU queues (≤ ~12 distinct models);
+* :func:`evaluate_policy` — replay a sequence under any policy and total
+  the transfer bytes paid on misses.
+
+The ablation benchmark compares paper-greedy vs Belady vs optimal.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Protocol, Sequence
+
+from ..core.errors import ConfigurationError, MemoryModelError
+
+
+@dataclass(frozen=True, slots=True)
+class ModelFootprint:
+    """Sizes the planner needs for one model."""
+
+    weight_bytes: float
+    working_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.weight_bytes < 0 or self.working_bytes <= 0:
+            raise ConfigurationError("footprint sizes must be positive")
+
+
+class RetentionPolicy(Protocol):
+    """Chooses eviction victims while replaying a GPU's task sequence."""
+
+    def on_task(self, index: int, model: str) -> None:
+        """Observe that position *index* runs *model* (called in order)."""
+
+    def choose_victim(self, resident: Sequence[str]) -> str:
+        """Pick one resident model to evict (never the active one)."""
+
+
+@dataclass(slots=True)
+class OldestFirstPolicy:
+    """The paper's greedy: evict the least-recently completed model."""
+
+    _order: OrderedDict = field(default_factory=OrderedDict)
+
+    def on_task(self, index: int, model: str) -> None:
+        self._order.pop(model, None)
+        self._order[model] = index  # most recent last
+
+    def choose_victim(self, resident: Sequence[str]) -> str:
+        for model in self._order:
+            if model in resident:
+                return model
+        return resident[0]  # pragma: no cover - resident ⊆ seen
+
+
+@dataclass(slots=True)
+class BeladyPolicy:
+    """Evict the resident model whose next use is farthest (or never)."""
+
+    sequence: Sequence[str]
+    #: next_use[i] = position of the next occurrence of sequence[i]'s model
+    _next_use: dict[str, list[int]] = field(default_factory=dict)
+    _cursor: int = 0
+
+    def __post_init__(self) -> None:
+        for i, model in enumerate(self.sequence):
+            self._next_use.setdefault(model, []).append(i)
+
+    def on_task(self, index: int, model: str) -> None:
+        self._cursor = index
+        uses = self._next_use.get(model)
+        while uses and uses[0] <= index:
+            uses.pop(0)
+
+    def _next_after(self, model: str) -> int:
+        uses = self._next_use.get(model, [])
+        for u in uses:
+            if u > self._cursor:
+                return u
+        return 1 << 60  # never used again
+
+    def choose_victim(self, resident: Sequence[str]) -> str:
+        return max(resident, key=lambda m: (self._next_after(m), m))
+
+
+@dataclass(frozen=True, slots=True)
+class RetentionOutcome:
+    """Result of replaying one sequence under a policy."""
+
+    hits: int
+    misses: int
+    transfer_bytes: float
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def evaluate_policy(
+    sequence: Sequence[str],
+    footprints: dict[str, ModelFootprint],
+    capacity_bytes: float,
+    policy: RetentionPolicy,
+) -> RetentionOutcome:
+    """Replay *sequence*; pay ``weight_bytes`` of transfer on every miss.
+
+    Semantics match :class:`~repro.switching.memory.GpuMemoryManager`: the
+    active task's working set has absolute priority; completed tasks retain
+    their weights; the *policy* picks eviction victims when retained models
+    must go.
+    """
+    if capacity_bytes <= 0:
+        raise ConfigurationError("capacity_bytes must be > 0")
+    for model in sequence:
+        if model not in footprints:
+            raise ConfigurationError(f"no footprint for model {model!r}")
+        if footprints[model].working_bytes > capacity_bytes:
+            raise MemoryModelError(
+                f"model {model!r} cannot fit on a {capacity_bytes:.2e} B GPU"
+            )
+    resident: OrderedDict[str, float] = OrderedDict()
+    hits = misses = 0
+    transfer = 0.0
+    for index, model in enumerate(sequence):
+        fp = footprints[model]
+        if model in resident:
+            hits += 1
+            resident.pop(model)
+        else:
+            misses += 1
+            transfer += fp.weight_bytes
+        policy.on_task(index, model)
+        # make room for the working set
+        def retained_total() -> float:
+            return sum(resident.values())
+
+        while retained_total() + fp.working_bytes > capacity_bytes:
+            victim = policy.choose_victim(list(resident))
+            if victim not in resident:  # pragma: no cover - defensive
+                raise MemoryModelError("policy evicted a non-resident model")
+            resident.pop(victim)
+        # task runs; on completion its weights are retained (if they fit,
+        # which they do: weight_bytes <= working_bytes <= capacity)
+        resident[model] = fp.weight_bytes
+        while retained_total() > capacity_bytes:  # pragma: no cover
+            victim = policy.choose_victim(
+                [m for m in resident if m != model]
+            )
+            resident.pop(victim)
+    return RetentionOutcome(hits=hits, misses=misses, transfer_bytes=transfer)
+
+
+def optimal_retention_cost(
+    sequence: Sequence[str],
+    footprints: dict[str, ModelFootprint],
+    capacity_bytes: float,
+    *,
+    max_models: int = 12,
+) -> float:
+    """Exact minimum total transfer bytes, by DP over resident sets.
+
+    State after task *t*: the set of retained models (always including the
+    model of task *t*). Transitions pay the next task's weight bytes iff it
+    is absent from the state. Exponential in the number of *distinct*
+    models, hence the guard — real GPU queues mix a handful of models.
+    """
+    models = sorted(set(sequence))
+    if len(models) > max_models:
+        raise ConfigurationError(
+            f"{len(models)} distinct models exceed the DP limit {max_models}"
+        )
+    if not sequence:
+        return 0.0
+
+    def fits(state: frozenset[str], working_of: str) -> bool:
+        retained = sum(
+            footprints[m].weight_bytes for m in state if m != working_of
+        )
+        return retained + footprints[working_of].working_bytes <= capacity_bytes
+
+    first = sequence[0]
+    if not fits(frozenset((first,)), first):
+        raise MemoryModelError(f"model {first!r} cannot fit at all")
+    # After task 0 only the first model has ever been loaded: the resident
+    # set is exactly {first}. (States may never contain unpaid models.)
+    frontier: dict[frozenset[str], float] = {
+        frozenset((first,)): footprints[first].weight_bytes
+    }
+
+    for nxt in sequence[1:]:
+        new_frontier: dict[frozenset[str], float] = {}
+        for state, cost in frontier.items():
+            step = cost + (
+                0.0 if nxt in state else footprints[nxt].weight_bytes
+            )
+            # any subset of (state ∪ {nxt}) containing nxt that fits is
+            # reachable; keeping supersets dominated by subsets is pruned
+            # by the min() below.
+            base = set(state) | {nxt}
+            others = sorted(base - {nxt})
+            for r in range(len(others) + 1):
+                for combo in combinations(others, r):
+                    ns = frozenset((nxt, *combo))
+                    if not fits(ns, nxt):
+                        continue
+                    retained = sum(footprints[m].weight_bytes for m in ns)
+                    if retained > capacity_bytes:
+                        continue
+                    if step < new_frontier.get(ns, float("inf")):
+                        new_frontier[ns] = step
+        frontier = new_frontier
+    return min(frontier.values())

@@ -1,0 +1,23 @@
+"""Theoretical analysis (§5.3): α, certified bounds, Theorem 4 audits."""
+
+from .bounds import (
+    BoundAudit,
+    alpha,
+    approximation_factor,
+    audit_theorem4,
+    capacity_lower_bound,
+    critical_path_lower_bound,
+    lower_bound,
+    parallel_work_lower_bound,
+)
+
+__all__ = [
+    "BoundAudit",
+    "alpha",
+    "approximation_factor",
+    "audit_theorem4",
+    "capacity_lower_bound",
+    "critical_path_lower_bound",
+    "lower_bound",
+    "parallel_work_lower_bound",
+]

@@ -1,0 +1,86 @@
+"""Workload trace import/export (CSV).
+
+Lets users replay their own cluster traces instead of the synthetic
+generator: a trace is a CSV with one job per row and the columns
+``job_id, model, arrival, weight, num_rounds, sync_scale, batch_scale``
+(header required, extra columns ignored). `job_id` must be dense 0..N-1 in
+file order — the same contract :class:`~repro.core.job.ProblemInstance`
+enforces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..core.errors import ConfigurationError
+from ..core.job import Job
+
+COLUMNS = (
+    "job_id",
+    "model",
+    "arrival",
+    "weight",
+    "num_rounds",
+    "sync_scale",
+    "batch_scale",
+)
+
+
+def save_jobs_csv(jobs: Iterable[Job], path: str | Path) -> None:
+    """Write jobs to *path* in the trace CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(COLUMNS)
+        for job in jobs:
+            writer.writerow(
+                [
+                    job.job_id,
+                    job.model,
+                    repr(job.arrival),
+                    repr(job.weight),
+                    job.num_rounds,
+                    job.sync_scale,
+                    repr(job.batch_scale),
+                ]
+            )
+
+
+def load_jobs_csv(path: str | Path) -> list[Job]:
+    """Read a trace CSV back into a job list (validated)."""
+    path = Path(path)
+    jobs: list[Job] = []
+    with path.open(newline="") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames is None:
+            raise ConfigurationError(f"{path} is empty")
+        missing = set(COLUMNS) - set(reader.fieldnames)
+        if missing:
+            raise ConfigurationError(
+                f"{path} is missing columns {sorted(missing)}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                job = Job(
+                    job_id=int(row["job_id"]),
+                    model=row["model"],
+                    arrival=float(row["arrival"]),
+                    weight=float(row["weight"]),
+                    num_rounds=int(row["num_rounds"]),
+                    sync_scale=int(row["sync_scale"]),
+                    batch_scale=float(row["batch_scale"]),
+                )
+            except (KeyError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: bad trace row ({exc})"
+                ) from exc
+            jobs.append(job)
+    for n, job in enumerate(jobs):
+        if job.job_id != n:
+            raise ConfigurationError(
+                f"{path}: job ids must be dense 0..N-1 in file order; "
+                f"row {n} has id {job.job_id}"
+            )
+    return jobs

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    ProfileMissError,
+    ReproError,
+    ScheduleValidationError,
+    SolverError,
+    UnknownGPUTypeError,
+    UnknownModelError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (
+        ConfigurationError("x"),
+        ScheduleValidationError(4, "x"),
+        SolverError("x"),
+        ProfileMissError("m", "g"),
+        UnknownGPUTypeError("Z", ("A",)),
+        UnknownModelError("Z", ("A",)),
+    ):
+        assert isinstance(exc, ReproError)
+
+
+def test_schedule_validation_carries_constraint():
+    e = ScheduleValidationError(7, "barrier broken")
+    assert e.constraint == 7
+    assert "(7)" in str(e)
+
+
+def test_unknown_gpu_lists_known():
+    e = UnknownGPUTypeError("H100", ("V100", "T4"))
+    assert "V100" in str(e) and "H100" in str(e)
+
+
+def test_unknown_model_lists_known():
+    e = UnknownModelError("GPT", ("VGG19",))
+    assert "VGG19" in str(e)
+
+
+def test_profile_miss_mentions_pair():
+    e = ProfileMissError("ResNet50", "H100")
+    assert e.model == "ResNet50" and e.gpu == "H100"
+
+
+def test_catching_base_class():
+    with pytest.raises(ReproError):
+        raise SolverError("LP failed")

@@ -1,0 +1,147 @@
+"""Tests for Job and ProblemInstance."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    Job,
+    ProblemInstance,
+    TaskRef,
+    make_uniform_instance,
+)
+
+
+class TestJob:
+    def test_num_tasks(self):
+        job = Job(job_id=0, model="m", num_rounds=3, sync_scale=4)
+        assert job.num_tasks == 12
+
+    def test_tasks_enumeration_order(self):
+        job = Job(job_id=1, model="m", num_rounds=2, sync_scale=2)
+        refs = list(job.tasks())
+        assert refs == [
+            TaskRef(1, 0, 0), TaskRef(1, 0, 1),
+            TaskRef(1, 1, 0), TaskRef(1, 1, 1),
+        ]
+
+    def test_round_tasks(self):
+        job = Job(job_id=0, model="m", num_rounds=2, sync_scale=3)
+        assert job.round_tasks(1) == [
+            TaskRef(0, 1, 0), TaskRef(0, 1, 1), TaskRef(0, 1, 2)
+        ]
+
+    def test_round_tasks_out_of_range(self):
+        job = Job(job_id=0, model="m", num_rounds=2)
+        with pytest.raises(ConfigurationError):
+            job.round_tasks(2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_rounds=0),
+            dict(sync_scale=0),
+            dict(weight=0.0),
+            dict(arrival=-1.0),
+            dict(batch_scale=0.0),
+        ],
+    )
+    def test_invalid_job_params(self, kwargs):
+        base = dict(job_id=0, model="m")
+        with pytest.raises(ConfigurationError):
+            Job(**{**base, **kwargs})
+
+
+class TestProblemInstance:
+    def test_shapes_validated(self):
+        jobs = [Job(job_id=0, model="m")]
+        with pytest.raises(ConfigurationError):
+            ProblemInstance(
+                jobs=jobs,
+                train_time=np.ones((2, 2)),
+                sync_time=np.ones((2, 2)),
+            )
+
+    def test_mismatched_matrices(self):
+        jobs = [Job(job_id=0, model="m")]
+        with pytest.raises(ConfigurationError):
+            ProblemInstance(
+                jobs=jobs,
+                train_time=np.ones((1, 2)),
+                sync_time=np.ones((1, 3)),
+            )
+
+    def test_nonpositive_train_time_rejected(self):
+        jobs = [Job(job_id=0, model="m")]
+        with pytest.raises(ConfigurationError):
+            ProblemInstance(
+                jobs=jobs,
+                train_time=np.zeros((1, 2)),
+                sync_time=np.zeros((1, 2)),
+            )
+
+    def test_dense_job_ids_required(self):
+        jobs = [Job(job_id=1, model="m")]
+        with pytest.raises(ConfigurationError):
+            ProblemInstance(
+                jobs=jobs, train_time=np.ones((1, 1)), sync_time=np.zeros((1, 1))
+            )
+
+    def test_lookups(self, tiny_instance):
+        assert tiny_instance.tc(0, 0) == 1.0
+        assert tiny_instance.ts(0, 1) == 0.2
+        assert tiny_instance.task_time(1, 1) == pytest.approx(1.1)
+
+    def test_fastest_gpu(self, tiny_instance):
+        assert tiny_instance.fastest_gpu(0) == 0
+        assert tiny_instance.fastest_gpu(1) == 1
+
+    def test_num_tasks(self, tiny_instance):
+        assert tiny_instance.num_tasks == 4
+
+    def test_all_tasks_covers_every_job(self, tiny_instance):
+        tasks = list(tiny_instance.all_tasks())
+        assert len(tasks) == 4
+        assert len(set(tasks)) == 4
+
+    def test_alpha_uniform_is_one(self):
+        inst = make_uniform_instance(2, 3, train_time=1.0)
+        assert inst.alpha() == pytest.approx(1.0)
+
+    def test_alpha_heterogeneous(self):
+        jobs = [Job(job_id=0, model="m")]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.array([[1.0, 7.0]]),
+            sync_time=np.array([[0.1, 0.2]]),
+        )
+        assert inst.alpha() == pytest.approx(7.0)
+
+    def test_alpha_ignores_zero_sync(self):
+        jobs = [Job(job_id=0, model="m")]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.array([[1.0, 2.0]]),
+            sync_time=np.array([[0.0, 0.0]]),
+        )
+        assert inst.alpha() == pytest.approx(2.0)
+
+    def test_gpu_labels_defaulted(self, tiny_instance):
+        assert tiny_instance.gpu_labels == ["gpu0", "gpu1"]
+
+    def test_uniform_factory_requires_gpu(self):
+        with pytest.raises(InfeasibleProblemError):
+            make_uniform_instance(1, 0)
+
+    def test_total_work_lower_bound(self, tiny_instance):
+        # job 0: 2 rounds × fastest (1.0 + 0.1)
+        assert tiny_instance.total_work_lower_bound(0) == pytest.approx(2.2)
+
+    def test_remaining_time_estimate_zero_when_done(self, tiny_instance):
+        assert tiny_instance.remaining_time_estimate(0, 2, [0]) == 0.0
+
+    def test_remaining_time_estimate_serializes_waves(self, tiny_instance):
+        # job 1 has 2 tasks; one free GPU → two waves on GPU0: 2 × 1.6
+        est = tiny_instance.remaining_time_estimate(1, 0, [0])
+        assert est == pytest.approx(2 * 1.6)

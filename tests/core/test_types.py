@@ -1,0 +1,73 @@
+"""Tests for core enumerations and identifiers."""
+
+import pytest
+
+from repro.core import ConfigurationError, GPUModel, ModelName, TaskRef
+from repro.core.types import (
+    GBPS,
+    GIB,
+    validate_non_negative,
+    validate_positive,
+)
+
+
+class TestTaskRef:
+    def test_ordering_is_lexicographic(self):
+        a = TaskRef(0, 0, 1)
+        b = TaskRef(0, 1, 0)
+        c = TaskRef(1, 0, 0)
+        assert a < b < c
+
+    def test_equality_and_hash(self):
+        assert TaskRef(1, 2, 3) == TaskRef(1, 2, 3)
+        assert hash(TaskRef(1, 2, 3)) == hash(TaskRef(1, 2, 3))
+        assert TaskRef(1, 2, 3) != TaskRef(1, 2, 4)
+
+    def test_str(self):
+        assert str(TaskRef(2, 1, 0)) == "J2.r1.t0"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TaskRef(0, 0, 0).slot = 5  # type: ignore[misc]
+
+
+class TestEnums:
+    def test_gpu_models_cover_testbed(self):
+        for name in ("V100", "T4", "K80", "M60"):
+            assert GPUModel(name).value == name
+
+    def test_model_names_cover_table2(self):
+        expected = {
+            "VGG19", "ResNet50", "InceptionV3", "Bert_base",
+            "Transformer", "DeepSpeech", "FastGCN", "GraphSAGE",
+        }
+        assert {m.value for m in ModelName} == expected
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(ValueError):
+            GPUModel("H100")
+
+
+class TestConstants:
+    def test_gib(self):
+        assert GIB == 2**30
+
+    def test_gbps_is_bytes_per_second(self):
+        assert GBPS == pytest.approx(125e6)
+
+
+class TestValidators:
+    def test_positive_accepts(self):
+        assert validate_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_positive("x", bad)
+
+    def test_non_negative_accepts_zero(self):
+        assert validate_non_negative("x", 0.0) == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ConfigurationError):
+            validate_non_negative("x", -0.1)

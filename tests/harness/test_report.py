@@ -1,0 +1,43 @@
+"""Tests for the paper-vs-measured claim records."""
+
+from repro.harness.report import PAPER_CLAIMS, Claim, Verdict, render_claims
+
+
+class TestClaims:
+    def test_ids_unique(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_claim_has_source_and_values(self):
+        for c in PAPER_CLAIMS:
+            assert c.source
+            assert c.paper_value and c.measured_value
+
+    def test_deviations_carry_notes(self):
+        for c in PAPER_CLAIMS:
+            if c.verdict is Verdict.DEVIATION:
+                assert c.note, c.claim_id
+
+    def test_core_claims_present(self):
+        sources = {c.source for c in PAPER_CLAIMS}
+        assert {"Table 3", "Fig. 12", "Fig. 13", "§2.2.3", "§5.3"} <= sources
+
+    def test_majority_match_or_shape(self):
+        ok = sum(
+            c.verdict in (Verdict.MATCH, Verdict.SHAPE_ONLY)
+            for c in PAPER_CLAIMS
+        )
+        assert ok >= 0.8 * len(PAPER_CLAIMS)
+
+
+class TestRendering:
+    def test_render_contains_rows(self):
+        out = render_claims()
+        assert "Table 3" in out and "verdict" in out
+
+    def test_render_custom_claims(self):
+        claim = Claim(
+            "x", "Fig. 0", "demo", "1", "1", Verdict.MATCH
+        )
+        out = render_claims([claim])
+        assert "Fig. 0" in out

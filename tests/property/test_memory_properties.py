@@ -1,0 +1,89 @@
+"""Property-based tests for the speculative memory manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switching import GpuMemoryManager
+
+GB = 1e9
+
+
+@st.composite
+def task_streams(draw):
+    """A random task stream over a small model universe plus a capacity."""
+    capacity = draw(st.floats(4.0, 32.0)) * GB
+    n_models = draw(st.integers(1, 5))
+    models = {}
+    for i in range(n_models):
+        weights = draw(st.floats(0.1, 2.0)) * GB
+        working = weights + draw(st.floats(0.5, 2.0)) * GB
+        models[f"m{i}"] = (weights, min(working, capacity))
+    stream = draw(
+        st.lists(
+            st.sampled_from(sorted(models)), min_size=1, max_size=40
+        )
+    )
+    return capacity, models, stream
+
+
+@given(data=task_streams())
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(data):
+    capacity, models, stream = data
+    mgr = GpuMemoryManager(capacity_bytes=capacity)
+    for name in stream:
+        weights, working = models[name]
+        mgr.begin_task(name, working)
+        assert mgr.used_bytes <= capacity + 1e-6
+        mgr.end_task(retain_bytes=weights)
+        assert mgr.retained_bytes <= capacity + 1e-6
+
+
+@given(data=task_streams())
+@settings(max_examples=60, deadline=None)
+def test_hit_implies_prior_run(data):
+    """A retention hit can only happen for a model that ran before."""
+    capacity, models, stream = data
+    mgr = GpuMemoryManager(capacity_bytes=capacity)
+    seen: set[str] = set()
+    for name in stream:
+        weights, working = models[name]
+        decision = mgr.begin_task(name, working)
+        if decision.retained_hit:
+            assert name in seen
+        seen.add(name)
+        mgr.end_task(retain_bytes=weights)
+
+
+@given(data=task_streams())
+@settings(max_examples=60, deadline=None)
+def test_immediate_rerun_always_hits_when_it_fits(data):
+    """Running the same model twice back-to-back hits iff it was retained
+    (it always fits: retained weights ≤ working set ≤ capacity)."""
+    capacity, models, stream = data
+    mgr = GpuMemoryManager(capacity_bytes=capacity)
+    prev = None
+    for name in stream:
+        weights, working = models[name]
+        decision = mgr.begin_task(name, working)
+        if prev == name:
+            assert decision.retained_hit
+        mgr.end_task(retain_bytes=weights)
+        prev = name
+
+
+@given(data=task_streams())
+@settings(max_examples=40, deadline=None)
+def test_hits_counted_consistently(data):
+    capacity, models, stream = data
+    mgr = GpuMemoryManager(capacity_bytes=capacity)
+    hits = 0
+    for name in stream:
+        weights, working = models[name]
+        if mgr.begin_task(name, working).retained_hit:
+            hits += 1
+        mgr.end_task(retain_bytes=weights)
+    assert mgr.hits == hits
+    assert mgr.misses == len(stream) - hits
+    if stream:
+        assert mgr.hit_rate == hits / len(stream)

@@ -1,0 +1,133 @@
+"""Property-based tests: every scheduler yields feasible schedules, and the
+core feasibility invariants hold across randomly drawn instances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Job,
+    ProblemInstance,
+    metrics_from_schedule,
+    validate_schedule,
+)
+from repro.schedulers import (
+    GavelFifoScheduler,
+    HareScheduler,
+    OnlineHareScheduler,
+    SchedAlloxScheduler,
+    SchedHomoScheduler,
+    SrtfScheduler,
+    TimeSliceScheduler,
+)
+from repro.theory import lower_bound
+
+
+@st.composite
+def instances(draw, max_jobs=4, max_gpus=3, max_rounds=3, max_scale=3):
+    """Random feasible problem instances (gang-feasible for baselines)."""
+    n_gpus = draw(st.integers(1, max_gpus))
+    n_jobs = draw(st.integers(1, max_jobs))
+    jobs = []
+    for n in range(n_jobs):
+        jobs.append(
+            Job(
+                job_id=n,
+                model=f"m{n % 3}",
+                arrival=draw(
+                    st.floats(0, 5, allow_nan=False, allow_infinity=False)
+                ),
+                weight=draw(st.floats(0.5, 4.0)),
+                num_rounds=draw(st.integers(1, max_rounds)),
+                sync_scale=draw(st.integers(1, min(max_scale, n_gpus))),
+            )
+        )
+    tc = np.array(
+        [
+            [draw(st.floats(0.1, 5.0)) for _ in range(n_gpus)]
+            for _ in range(n_jobs)
+        ]
+    )
+    ts = np.array(
+        [
+            [draw(st.floats(0.0, 0.5)) for _ in range(n_gpus)]
+            for _ in range(n_jobs)
+        ]
+    )
+    return ProblemInstance(jobs=jobs, train_time=tc, sync_time=ts)
+
+
+SCHEDULERS = [
+    GavelFifoScheduler(),
+    SrtfScheduler(),
+    SchedHomoScheduler(),
+    SchedAlloxScheduler(),
+    HareScheduler(relaxation="fluid"),
+    OnlineHareScheduler(),
+    TimeSliceScheduler(quantum_s=2.0),
+]
+
+
+@given(inst=instances())
+@settings(max_examples=40, deadline=None)
+def test_every_scheduler_is_feasible(inst):
+    """Constraints (4)-(8) hold for every scheme on every instance."""
+    for sched in SCHEDULERS:
+        validate_schedule(sched.schedule(inst))
+
+
+@given(inst=instances())
+@settings(max_examples=30, deadline=None)
+def test_objective_at_least_certified_lower_bound(inst):
+    lb = lower_bound(inst)
+    for sched in SCHEDULERS:
+        obj = metrics_from_schedule(
+            sched.schedule(inst)
+        ).total_weighted_completion
+        assert obj >= lb - 1e-6
+
+
+@given(inst=instances())
+@settings(max_examples=30, deadline=None)
+def test_completion_recomputation_consistency(inst):
+    """Σ w C recomputed from raw assignments equals the metric."""
+    sched = HareScheduler(relaxation="fluid").schedule(inst)
+    m = metrics_from_schedule(sched)
+    recomputed = 0.0
+    for job in inst.jobs:
+        ends = [sched[t].end for t in job.tasks()]
+        recomputed += job.weight * max(ends)
+    assert abs(recomputed - m.total_weighted_completion) < 1e-9
+
+
+@given(inst=instances(max_jobs=3, max_rounds=2))
+@settings(max_examples=25, deadline=None)
+def test_hare_never_worse_than_double_fifo_weighted_flow(inst):
+    """Sanity regression guard: Hare's objective stays within 2x of FIFO's
+    (it is usually far better; catastrophic regressions would trip this)."""
+    hare = metrics_from_schedule(
+        HareScheduler(relaxation="fluid").schedule(inst)
+    ).total_weighted_completion
+    fifo = metrics_from_schedule(
+        GavelFifoScheduler().schedule(inst)
+    ).total_weighted_completion
+    assert hare <= 2.0 * fifo + 1e-6
+
+
+@given(inst=instances())
+@settings(max_examples=25, deadline=None)
+def test_makespan_bounds(inst):
+    """Makespan is at least the longest critical path and at most the
+    serialized total work plus waiting for the last arrival."""
+    sched = HareScheduler(relaxation="fluid").schedule(inst)
+    cp = max(
+        job.num_rounds * (inst.train_time[job.job_id].min())
+        for job in inst.jobs
+    )
+    total = sum(
+        job.num_tasks * (inst.train_time[job.job_id].max() + inst.sync_time[job.job_id].max())
+        for job in inst.jobs
+    )
+    last_arrival = max(j.arrival for j in inst.jobs)
+    assert sched.makespan() >= cp - 1e-9
+    assert sched.makespan() <= last_arrival + total + 1e-6

@@ -1,0 +1,106 @@
+"""Tests for scheduler shared machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InfeasibleProblemError,
+    Job,
+    ProblemInstance,
+    Schedule,
+    validate_schedule,
+)
+from repro.schedulers import (
+    HeapTimeline,
+    check_gang_feasible,
+    fastest_free_gpus,
+    gang_run_job,
+)
+from repro.schedulers.base import ObliviousPicker
+
+
+@pytest.fixture
+def inst():
+    jobs = [Job(job_id=0, model="m", num_rounds=2, sync_scale=2)]
+    tc = np.array([[1.0, 2.0, 3.0]])
+    ts = np.array([[0.1, 0.1, 0.1]])
+    return ProblemInstance(jobs=jobs, train_time=tc, sync_time=ts)
+
+
+class TestGangFeasibility:
+    def test_ok(self, inst):
+        check_gang_feasible(inst)
+
+    def test_too_wide_job(self):
+        jobs = [Job(job_id=0, model="m", sync_scale=4)]
+        bad = ProblemInstance(
+            jobs=jobs, train_time=np.ones((1, 2)), sync_time=np.zeros((1, 2))
+        )
+        with pytest.raises(InfeasibleProblemError):
+            check_gang_feasible(bad)
+
+
+class TestGangRunJob:
+    def test_round_time_is_slowest_gpu(self, inst):
+        sched = Schedule(inst)
+        completion = gang_run_job(sched, inst, inst.jobs[0], [0, 2], 1.0)
+        # round = max(1.1, 3.1) = 3.1; two rounds from t=1.0
+        assert completion == pytest.approx(1.0 + 2 * 3.1)
+        validate_schedule(sched)
+
+    def test_all_tasks_emitted(self, inst):
+        sched = Schedule(inst)
+        gang_run_job(sched, inst, inst.jobs[0], [0, 1], 0.0)
+        assert len(sched) == 4
+
+    def test_wrong_gpu_count(self, inst):
+        sched = Schedule(inst)
+        with pytest.raises(InfeasibleProblemError):
+            gang_run_job(sched, inst, inst.jobs[0], [0], 0.0)
+
+
+class TestFastestFreeGpus:
+    def test_picks_by_task_time(self, inst):
+        assert fastest_free_gpus(inst, 0, [2, 1, 0], 2) == [0, 1]
+
+    def test_ties_break_by_index(self):
+        jobs = [Job(job_id=0, model="m")]
+        flat = ProblemInstance(
+            jobs=jobs, train_time=np.ones((1, 3)), sync_time=np.zeros((1, 3))
+        )
+        assert fastest_free_gpus(flat, 0, [2, 0, 1], 2) == [0, 1]
+
+
+class TestHeapTimeline:
+    def test_pop_earliest(self):
+        h = HeapTimeline(3)
+        t, m = h.pop_earliest()
+        assert (t, m) == (0.0, 0)
+        h.push(5.0, 0)
+        assert h.pop_earliest() == (0.0, 1)
+
+    def test_updates_order(self):
+        h = HeapTimeline(2)
+        h.pop_earliest()
+        h.push(10.0, 0)
+        h.pop_earliest()
+        h.push(3.0, 1)
+        assert h.peek() == (3.0, 1)
+
+
+class TestObliviousPicker:
+    def test_rotates_across_cluster(self):
+        p = ObliviousPicker()
+        free = list(range(6))
+        seen = set()
+        for _ in range(6):
+            seen.update(p.pick(free, 1))
+        assert seen == set(free)
+
+    def test_pick_count(self):
+        p = ObliviousPicker()
+        assert len(p.pick([0, 1, 2, 3], 3)) == 3
+
+    def test_over_pick_rejected(self):
+        with pytest.raises(InfeasibleProblemError):
+            ObliviousPicker().pick([0], 2)

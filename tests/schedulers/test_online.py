@@ -1,0 +1,109 @@
+"""Tests for the online (non-clairvoyant) Hare scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Job,
+    ProblemInstance,
+    metrics_from_schedule,
+    validate_schedule,
+)
+from repro.schedulers import HareScheduler, OnlineHareScheduler
+from tests.conftest import make_random_instance
+
+
+class TestFeasibility:
+    def test_valid_on_toy(self, fig1_instance):
+        sched = OnlineHareScheduler().schedule(fig1_instance)
+        validate_schedule(sched)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_on_random(self, seed):
+        inst = make_random_instance(
+            seed, max_jobs=5, max_rounds=3, max_scale=3
+        )
+        sched = OnlineHareScheduler().schedule(inst)
+        validate_schedule(sched)
+
+    def test_exact_relaxation_variant(self, tiny_instance):
+        sched = OnlineHareScheduler(relaxation="exact").schedule(tiny_instance)
+        validate_schedule(sched)
+
+
+class TestOnlineSemantics:
+    def test_replans_once_per_distinct_arrival(self):
+        jobs = [
+            Job(job_id=0, model="a", arrival=0.0, num_rounds=2),
+            Job(job_id=1, model="b", arrival=1.0, num_rounds=2),
+            Job(job_id=2, model="c", arrival=1.0, num_rounds=2),
+            Job(job_id=3, model="d", arrival=5.0, num_rounds=2),
+        ]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.ones((4, 2)),
+            sync_time=np.zeros((4, 2)),
+        )
+        sched = OnlineHareScheduler()
+        sched.schedule(inst)
+        # 3 distinct arrival times → at most 3 planning events, plus
+        # possible re-plans for leftover work at the same times
+        assert sched.replans >= 3
+
+    def test_single_arrival_equals_offline_shape(self):
+        """With every job arriving at t=0 the online scheduler plans once
+        and matches the offline algorithm exactly."""
+        jobs = [
+            Job(job_id=0, model="a", num_rounds=3, sync_scale=2),
+            Job(job_id=1, model="b", num_rounds=2, sync_scale=1, weight=2.0),
+        ]
+        rng = np.random.default_rng(1)
+        tc = rng.uniform(0.5, 2.0, size=(2, 3))
+        inst = ProblemInstance(
+            jobs=jobs, train_time=tc, sync_time=np.zeros((2, 3))
+        )
+        online = OnlineHareScheduler(relaxation="fluid").schedule(inst)
+        offline = HareScheduler(relaxation="fluid").schedule(inst)
+        assert metrics_from_schedule(online).total_weighted_completion == (
+            pytest.approx(
+                metrics_from_schedule(offline).total_weighted_completion
+            )
+        )
+
+    def test_no_start_before_arrival(self):
+        jobs = [
+            Job(job_id=0, model="a", arrival=0.0, num_rounds=4),
+            Job(job_id=1, model="b", arrival=3.0, num_rounds=1, weight=9.0),
+        ]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.ones((2, 1)),
+            sync_time=np.zeros((2, 1)),
+        )
+        sched = OnlineHareScheduler().schedule(inst)
+        validate_schedule(sched)
+        # the heavy late job cannot be anticipated: before t=3 the GPU
+        # works on job 0 (an offline scheduler might have held it back)
+        early_tasks = [
+            a for a in sched.assignments.values() if a.start < 3.0 - 1e-9
+        ]
+        assert all(a.task.job_id == 0 for a in early_tasks)
+        assert len(early_tasks) >= 3
+
+    def test_price_of_nonclairvoyance_bounded(self):
+        """Online Hare stays within 2x of offline on random traces (it is
+        usually within a few percent; this guards catastrophic regressions)."""
+        worse = []
+        for seed in range(6):
+            inst = make_random_instance(
+                seed + 100, max_jobs=6, max_rounds=3, max_scale=2
+            )
+            online = metrics_from_schedule(
+                OnlineHareScheduler().schedule(inst)
+            ).total_weighted_completion
+            offline = metrics_from_schedule(
+                HareScheduler(relaxation="fluid").schedule(inst)
+            ).total_weighted_completion
+            worse.append(online / offline)
+        assert max(worse) < 2.0
+        assert np.mean(worse) < 1.3

@@ -1,0 +1,137 @@
+"""Unit tests for relaxation-solver internals (fills, curves, cuts)."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.relaxation import (
+    _density_fill,
+    _invert_curve,
+    _water_fill,
+)
+
+
+class TestWaterFill:
+    def test_proportional_when_uncapped(self):
+        rates = _water_fill(
+            np.array([1.0, 3.0]), np.array([10.0, 10.0]), 4.0
+        )
+        np.testing.assert_allclose(rates, [1.0, 3.0])
+
+    def test_caps_respected_and_redistributed(self):
+        rates = _water_fill(
+            np.array([1.0, 1.0]), np.array([0.5, 10.0]), 4.0
+        )
+        np.testing.assert_allclose(rates, [0.5, 3.5])
+
+    def test_total_never_exceeds_capacity(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(1, 6))
+            w = rng.uniform(0.1, 5.0, n)
+            caps = rng.uniform(0.1, 3.0, n)
+            cap = float(rng.uniform(0.5, 8.0))
+            rates = _water_fill(w, caps, cap)
+            assert rates.sum() <= cap + 1e-9
+            assert (rates <= caps + 1e-12).all()
+            assert (rates >= 0).all()
+
+    def test_surplus_capacity_all_capped(self):
+        rates = _water_fill(np.array([1.0, 1.0]), np.array([1.0, 1.0]), 10.0)
+        np.testing.assert_allclose(rates, [1.0, 1.0])
+
+
+class TestDensityFill:
+    def test_densest_served_first(self):
+        # job1 denser (w/work = 2/1) than job0 (1/1): job1 gets its cap
+        rates = _density_fill(
+            np.array([1.0, 2.0]),
+            np.array([1.0, 1.0]),
+            np.array([3.0, 3.0]),
+            4.0,
+        )
+        np.testing.assert_allclose(rates, [1.0, 3.0])
+
+    def test_starves_low_density_under_scarcity(self):
+        rates = _density_fill(
+            np.array([1.0, 5.0]),
+            np.array([10.0, 1.0]),
+            np.array([2.0, 2.0]),
+            2.0,
+        )
+        np.testing.assert_allclose(rates, [0.0, 2.0])
+
+    def test_tie_breaks_by_index(self):
+        rates = _density_fill(
+            np.array([1.0, 1.0]),
+            np.array([1.0, 1.0]),
+            np.array([2.0, 2.0]),
+            2.0,
+        )
+        np.testing.assert_allclose(rates, [2.0, 0.0])
+
+    def test_capacity_conserved(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            n = int(rng.integers(1, 6))
+            w = rng.uniform(0.1, 5.0, n)
+            work = rng.uniform(0.1, 5.0, n)
+            caps = rng.uniform(0.1, 3.0, n)
+            cap = float(rng.uniform(0.5, 8.0))
+            rates = _density_fill(w, work, caps, cap)
+            assert rates.sum() <= cap + 1e-9
+            assert (rates <= caps + 1e-12).all()
+
+
+class TestInvertCurve:
+    CURVE = [(0.0, 0.0), (2.0, 4.0), (5.0, 4.0), (6.0, 6.0)]
+
+    def test_zero_target_is_curve_start(self):
+        assert _invert_curve(self.CURVE, 0.0) == 0.0
+
+    def test_linear_interpolation(self):
+        assert _invert_curve(self.CURVE, 2.0) == pytest.approx(1.0)
+
+    def test_flat_segment_skipped(self):
+        # work 4.0 is first reached at t=2.0, not during the stall
+        assert _invert_curve(self.CURVE, 4.0) == pytest.approx(2.0)
+
+    def test_after_stall(self):
+        assert _invert_curve(self.CURVE, 5.0) == pytest.approx(5.5)
+
+    def test_target_beyond_curve_clamps_to_end(self):
+        assert _invert_curve(self.CURVE, 100.0) == 6.0
+
+
+class TestCutSeparation:
+    def test_violated_prefix_found_and_fixed(self):
+        """Craft an instance whose initial LP (full-set cut only) violates a
+        prefix; the solver must add cuts until all prefixes hold."""
+        import numpy as np
+
+        from repro.core import Job, ProblemInstance
+        from repro.schedulers import ExactRelaxationSolver
+
+        # 3 equal sequential-ish tasks on one GPU with varied weights: the
+        # optimal LP point pushes cheap tasks early, stressing prefixes.
+        jobs = [
+            Job(job_id=n, model=f"m{n}", weight=w)
+            for n, w in enumerate((1.0, 5.0, 2.0))
+        ]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.array([[1.0], [1.0], [1.0]]),
+            sync_time=np.zeros((3, 1)),
+        )
+        solver = ExactRelaxationSolver()
+        res = solver.solve(inst)
+        # all prefixes of the x̂-sorted order satisfy constraint (9)
+        tasks = sorted(res.x_hat, key=lambda t: res.x_hat[t])
+        q = np.ones(len(tasks))
+        xs = np.array([res.x_hat[t] for t in tasks])
+        for k in range(1, len(tasks) + 1):
+            lhs = (q[:k] * (xs[:k] + q[:k])).sum()
+            rhs = 0.5 * (q[:k].sum() ** 2 + (q[:k] ** 2).sum())
+            assert lhs >= rhs - 1e-6
+        # single machine, unit tasks: the relaxation objective equals the
+        # WSPT optimum 5*1 + 2*2 + 1*3 = 12
+        assert res.objective == pytest.approx(12.0, abs=1e-5)

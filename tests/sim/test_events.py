@@ -1,0 +1,52 @@
+"""Tests for the DES event queue."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.sim import Event, EventQueue, EventType
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventType.GPU_CHECK, "b"))
+        q.push(Event(1.0, EventType.GPU_CHECK, "a"))
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_same_time_type_priority(self):
+        """Sync completions must commit before GPU checks at equal times."""
+        q = EventQueue()
+        q.push(Event(1.0, EventType.GPU_CHECK, "check"))
+        q.push(Event(1.0, EventType.TASK_SYNC_DONE, "sync"))
+        q.push(Event(1.0, EventType.JOB_ARRIVAL, "arrive"))
+        assert q.pop().payload == "sync"
+        assert q.pop().payload == "arrive"
+        assert q.pop().payload == "check"
+
+    def test_insertion_order_breaks_final_ties(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventType.GPU_CHECK, 1))
+        q.push(Event(1.0, EventType.GPU_CHECK, 2))
+        assert q.pop().payload == 1
+        assert q.pop().payload == 2
+
+    def test_clock_monotone(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.GPU_CHECK))
+        q.pop()
+        assert q.now == 5.0
+        with pytest.raises(SimulationError):
+            q.push(Event(4.0, EventType.GPU_CHECK))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_counters(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventType.GPU_CHECK))
+        q.push(Event(2.0, EventType.GPU_CHECK))
+        q.pop()
+        assert q.pushed == 2 and q.popped == 1
+        assert len(q) == 1 and bool(q)

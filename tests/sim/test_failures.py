@@ -1,0 +1,101 @@
+"""Tests for GPU failure injection and crash recovery."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import Job, ProblemInstance, SimulationError, TaskRef, schedule_from_mapping, validate_schedule
+from repro.harness import make_workload
+from repro.schedulers import HareScheduler
+from repro.sim import simulate_plan
+from repro.workload import WorkloadConfig, build_instance
+
+
+def single_gpu_plan(num_rounds=3):
+    cluster = make_cluster(["V100"])
+    jobs = [Job(job_id=0, model="m", num_rounds=num_rounds, sync_scale=1)]
+    inst = ProblemInstance(
+        jobs=jobs,
+        train_time=np.full((1, 1), 2.0),
+        sync_time=np.zeros((1, 1)),
+    )
+    plan = schedule_from_mapping(
+        inst, {TaskRef(0, r, 0): (0, 2.0 * r) for r in range(num_rounds)}
+    )
+    return cluster, inst, plan
+
+
+class TestFailureRecovery:
+    def test_aborted_task_reruns(self):
+        cluster, inst, plan = single_gpu_plan()
+        # crash mid first task (t=1.0); restart after 1s; task re-runs
+        res = simulate_plan(
+            cluster, inst, plan, failures=[(1.0, 0)], restart_delay_s=1.0
+        )
+        assert res.pool.all_jobs_complete()
+        # completion = 1 (crash) + 1 (restart) + 3 full tasks of 2s
+        assert res.pool.completion_time(0) == pytest.approx(8.0)
+        assert res.telemetry.aborted_attempts == 1
+        assert res.telemetry.wasted_compute_s == pytest.approx(1.0)
+
+    def test_all_tasks_complete_exactly_once(self):
+        cluster, inst, plan = single_gpu_plan()
+        res = simulate_plan(cluster, inst, plan, failures=[(1.0, 0)])
+        assert len(res.realized) == inst.num_tasks
+        validate_schedule(res.realized, check_durations=False)
+
+    def test_idle_crash_costs_only_context(self):
+        cluster, inst, plan = single_gpu_plan(num_rounds=1)
+        # crash long after the job finished: nothing aborts
+        res = simulate_plan(cluster, inst, plan, failures=[(100.0, 0)])
+        assert res.telemetry.aborted_attempts == 0
+        assert res.pool.completion_time(0) == pytest.approx(2.0)
+
+    def test_completed_rounds_survive_failures(self):
+        """Gradients already at the PS are never lost (§6's checkpoints)."""
+        cluster, inst, plan = single_gpu_plan()
+        res = simulate_plan(
+            cluster, inst, plan, failures=[(3.0, 0)], restart_delay_s=0.5
+        )
+        # round 0 completed at t=2 < crash at t=3: only round 1 re-runs
+        assert res.telemetry.aborted_attempts == 1
+        assert res.pool.completion_time(0) == pytest.approx(
+            3.0 + 0.5 + 2 * 2.0
+        )
+
+    def test_multiple_failures(self):
+        cluster, inst, plan = single_gpu_plan()
+        res = simulate_plan(
+            cluster, inst, plan,
+            failures=[(1.0, 0), (4.0, 0)], restart_delay_s=0.5,
+        )
+        assert res.pool.all_jobs_complete()
+        assert res.telemetry.aborted_attempts >= 1
+
+    def test_unknown_gpu_rejected(self):
+        cluster, inst, plan = single_gpu_plan()
+        with pytest.raises(SimulationError):
+            simulate_plan(cluster, inst, plan, failures=[(1.0, 7)])
+
+    def test_failures_on_realistic_workload(self):
+        cluster = make_cluster(["V100", "T4", "K80", "V100"])
+        jobs = make_workload(
+            6, seed=71, config=WorkloadConfig(rounds_scale=0.06)
+        )
+        inst = build_instance(jobs, cluster)
+        plan = HareScheduler(relaxation="fluid").schedule(inst)
+        clean = simulate_plan(cluster, inst, plan)
+        failed = simulate_plan(
+            cluster,
+            inst,
+            plan,
+            failures=[(clean.makespan * 0.3, g) for g in range(4)],
+            restart_delay_s=2.0,
+        )
+        assert failed.pool.all_jobs_complete()
+        validate_schedule(failed.realized, check_durations=False)
+        # failures only delay
+        assert (
+            failed.total_weighted_completion
+            >= clean.total_weighted_completion - 1e-9
+        )

@@ -1,0 +1,57 @@
+"""Tests for parameter-server barrier bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core import Job, ProblemInstance, SimulationError, TaskRef
+from repro.sim import ParameterServerPool
+
+
+@pytest.fixture
+def pool():
+    jobs = [Job(job_id=0, model="m", num_rounds=2, sync_scale=2)]
+    inst = ProblemInstance(
+        jobs=jobs, train_time=np.ones((1, 1)), sync_time=np.zeros((1, 1))
+    )
+    return ParameterServerPool(inst)
+
+
+class TestBarriers:
+    def test_round_completes_on_last_sync(self, pool):
+        assert not pool.record_sync(TaskRef(0, 0, 0), 1.0)
+        assert not pool.round_complete(0, 0)
+        assert pool.record_sync(TaskRef(0, 0, 1), 2.0)
+        assert pool.round_complete(0, 0)
+        assert pool.barrier_time(0, 0) == 2.0
+
+    def test_barrier_is_max_time(self, pool):
+        pool.record_sync(TaskRef(0, 0, 0), 5.0)
+        pool.record_sync(TaskRef(0, 0, 1), 2.0)
+        assert pool.barrier_time(0, 0) == 5.0
+
+    def test_round_minus_one_always_open(self, pool):
+        assert pool.round_complete(0, -1)
+        assert pool.barrier_time(0, -1) == pool.instance.jobs[0].arrival
+
+    def test_double_sync_rejected(self, pool):
+        pool.record_sync(TaskRef(0, 0, 0), 1.0)
+        with pytest.raises(SimulationError):
+            pool.record_sync(TaskRef(0, 0, 0), 2.0)
+
+    def test_barrier_of_incomplete_round_rejected(self, pool):
+        pool.record_sync(TaskRef(0, 0, 0), 1.0)
+        with pytest.raises(SimulationError):
+            pool.barrier_time(0, 0)
+
+    def test_job_completion(self, pool):
+        for r in (0, 1):
+            pool.record_sync(TaskRef(0, r, 0), r + 1.0)
+            pool.record_sync(TaskRef(0, r, 1), r + 1.5)
+        assert pool.job_complete(0)
+        assert pool.completion_time(0) == 2.5
+        assert pool.all_jobs_complete()
+
+    def test_total_sync_counter(self, pool):
+        pool.record_sync(TaskRef(0, 0, 0), 1.0)
+        pool.record_sync(TaskRef(0, 0, 1), 1.0)
+        assert pool.total_syncs == 2

@@ -1,0 +1,81 @@
+"""Unit tests for simulation telemetry."""
+
+import pytest
+
+from repro.core import TaskRef
+from repro.sim import TaskRecord, Telemetry
+
+
+def record(job=0, rnd=0, slot=0, gpu=0, *, start=1.0, switch=0.0,
+           train=2.0, sync=0.5, hit=False, planned=None):
+    return TaskRecord(
+        task=TaskRef(job, rnd, slot),
+        gpu=gpu,
+        planned_start=start if planned is None else planned,
+        start=start,
+        switch_time=switch,
+        train_time=train,
+        sync_time=sync,
+        retained_hit=hit,
+    )
+
+
+class TestAccumulation:
+    def test_busy_intervals_tracked(self):
+        t = Telemetry(num_gpus=2)
+        t.record_task(record(gpu=0, start=0.0))
+        t.record_task(record(gpu=1, start=1.0))
+        assert t.busy[0] == [(0.0, 2.0)]
+        assert t.busy[1] == [(1.0, 3.0)]
+
+    def test_switch_intervals_and_count(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=1.0, switch=0.5))
+        assert t.switch_count == 1
+        assert t.switching[0] == [(0.5, 1.0)]
+
+    def test_zero_switch_not_counted(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(switch=0.0))
+        assert t.switch_count == 0
+
+    def test_retention_hits(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(hit=True))
+        t.record_task(record(rnd=1, hit=False))
+        assert t.retention_hits == 1
+
+
+class TestDerived:
+    def test_makespan_includes_sync(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=1.0, train=2.0, sync=0.5))
+        assert t.makespan == pytest.approx(3.5)
+
+    def test_empty_telemetry(self):
+        t = Telemetry(num_gpus=2)
+        assert t.makespan == 0.0
+        assert t.mean_utilization() == 0.0
+        assert t.switch_overhead_fraction() == 0.0
+        assert t.plan_deviation() == 0.0
+
+    def test_overhead_fraction(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=1.0, switch=1.0, train=4.0))
+        assert t.switch_overhead_fraction() == pytest.approx(0.25)
+
+    def test_utilization_respects_horizon(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=0.0, train=2.0, sync=0.0))
+        assert t.gpu_utilization(horizon=4.0)[0] == pytest.approx(0.5)
+
+    def test_idle_gpu_reports_zero(self):
+        t = Telemetry(num_gpus=2)
+        t.record_task(record(gpu=0))
+        assert t.gpu_utilization()[1] == 0.0
+
+    def test_plan_deviation_relative_to_makespan(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=2.0, planned=1.0, train=8.0, sync=0.0))
+        # slip 1.0 over makespan 10.0
+        assert t.plan_deviation() == pytest.approx(0.1)

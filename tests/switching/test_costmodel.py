@@ -1,0 +1,158 @@
+"""Tests for the Table 3 switch-cost model."""
+
+import pytest
+
+from repro.cluster import gpu_spec
+from repro.core import ModelName, SwitchMode
+from repro.switching import SwitchCostModel, switch_time_table, switching_ratio
+from repro.workload import batch_time
+
+V100 = gpu_spec("V100")
+
+#: Table 3, Default row (ms).
+TABLE3_DEFAULT_MS = {
+    ModelName.VGG19: 3288.94,
+    ModelName.RESNET50: 5961.16,
+    ModelName.INCEPTION_V3: 7807.43,
+    ModelName.BERT_BASE: 9016.99,
+    ModelName.TRANSFORMER: 5257.17,
+    ModelName.DEEPSPEECH: 5125.64,
+    ModelName.FASTGCN: 5327.24,
+    ModelName.GRAPHSAGE: 5213.54,
+}
+
+#: Table 3, PipeSwitch row (ms).
+TABLE3_PIPESWITCH_MS = {
+    ModelName.VGG19: 4.01,
+    ModelName.RESNET50: 4.75,
+    ModelName.INCEPTION_V3: 5.03,
+    ModelName.BERT_BASE: 12.57,
+    ModelName.TRANSFORMER: 10.34,
+    ModelName.DEEPSPEECH: 8.91,
+    ModelName.FASTGCN: 2.86,
+    ModelName.GRAPHSAGE: 2.42,
+}
+
+#: Table 3, Hare row (ms).
+TABLE3_HARE_MS = {
+    ModelName.VGG19: 2.77,
+    ModelName.RESNET50: 2.04,
+    ModelName.INCEPTION_V3: 2.46,
+    ModelName.BERT_BASE: 5.03,
+    ModelName.TRANSFORMER: 5.79,
+    ModelName.DEEPSPEECH: 4.27,
+    ModelName.FASTGCN: 1.83,
+    ModelName.GRAPHSAGE: 0.96,
+}
+
+
+class TestTable3Calibration:
+    @pytest.mark.parametrize("model", list(ModelName))
+    def test_default_matches_table3(self, model):
+        cost = SwitchCostModel(mode=SwitchMode.DEFAULT).cost(model.value, V100)
+        assert cost * 1e3 == pytest.approx(TABLE3_DEFAULT_MS[model], rel=0.10)
+
+    @pytest.mark.parametrize("model", list(ModelName))
+    def test_pipeswitch_matches_table3(self, model):
+        cost = SwitchCostModel(mode=SwitchMode.PIPESWITCH).cost(
+            model.value, V100
+        )
+        assert cost * 1e3 == pytest.approx(
+            TABLE3_PIPESWITCH_MS[model], rel=0.35
+        )
+
+    @pytest.mark.parametrize("model", list(ModelName))
+    def test_hare_matches_table3(self, model):
+        cost = SwitchCostModel(mode=SwitchMode.HARE).cost(model.value, V100)
+        assert cost * 1e3 == pytest.approx(TABLE3_HARE_MS[model], rel=0.50)
+
+    @pytest.mark.parametrize("model", list(ModelName))
+    def test_hare_below_6ms(self, model):
+        """Table 3: the maximum Hare switching time is ≤ 6 ms."""
+        cost = SwitchCostModel(mode=SwitchMode.HARE).cost(model.value, V100)
+        assert cost <= 6e-3
+
+    @pytest.mark.parametrize("model", list(ModelName))
+    def test_ordering_hare_pipeswitch_default(self, model):
+        costs = {
+            mode: SwitchCostModel(mode=mode).cost(model.value, V100)
+            for mode in SwitchMode
+        }
+        assert (
+            costs[SwitchMode.HARE]
+            < costs[SwitchMode.PIPESWITCH]
+            < costs[SwitchMode.DEFAULT]
+        )
+
+    @pytest.mark.parametrize("model", list(ModelName))
+    def test_hare_overhead_within_5_percent_of_task(self, model):
+        """Table 3's percentages: Hare ≤ 5 % of task time for every model."""
+        cost = SwitchCostModel(mode=SwitchMode.HARE).cost(model.value, V100)
+        assert cost / batch_time(model, "V100") <= 0.05
+
+    def test_default_is_seconds_scale(self):
+        for model in ModelName:
+            cost = SwitchCostModel(mode=SwitchMode.DEFAULT).cost(
+                model.value, V100
+            )
+            assert cost > 1.0  # thousands of ms, like Table 3
+
+
+class TestMechanics:
+    def test_same_job_is_free(self):
+        cm = SwitchCostModel(mode=SwitchMode.DEFAULT)
+        assert cm.cost("VGG19", V100, same_job=True) == 0.0
+
+    def test_retained_hit_is_sub_millisecond(self):
+        cm = SwitchCostModel(mode=SwitchMode.HARE)
+        warm = cm.cost("Bert_base", V100, retained_hit=True)
+        cold = cm.cost("Bert_base", V100, retained_hit=False)
+        assert warm < 1e-3 < cold
+
+    def test_retained_hit_ignored_outside_hare(self):
+        cm = SwitchCostModel(mode=SwitchMode.PIPESWITCH)
+        # PipeSwitch has no speculative memory: hit flag must not matter
+        # (the simulator never sets it, but the model is defensive).
+        assert cm.cost("VGG19", V100, retained_hit=True) == pytest.approx(
+            cm.cost("VGG19", V100, retained_hit=False)
+        )
+
+    def test_unknown_model_uses_fallback(self):
+        cm = SwitchCostModel(mode=SwitchMode.HARE)
+        assert cm.cost("my_model", V100) > 0
+
+    def test_breakdown_sums_to_cost(self):
+        cm = SwitchCostModel(mode=SwitchMode.DEFAULT)
+        b = cm.breakdown("ResNet50", V100)
+        assert b.total_s == pytest.approx(cm.cost("ResNet50", V100))
+
+    def test_switch_time_table_covers_grid(self):
+        table = switch_time_table(V100)
+        assert len(table) == 8
+        for row in table.values():
+            assert set(row) == set(SwitchMode)
+
+
+class TestFig7Ratio:
+    def test_default_ratio_is_many_x(self):
+        """Fig. 7: Ω ≈ 9 for GraphSAGE+ResNet50 under default switching."""
+        omega = switching_ratio(
+            "GraphSAGE",
+            "ResNet50",
+            V100,
+            batch_time("GraphSAGE", "V100"),
+            batch_time("ResNet50", "V100"),
+            mode=SwitchMode.DEFAULT,
+        )
+        assert omega > 5.0
+
+    def test_hare_ratio_below_5_percent(self):
+        omega = switching_ratio(
+            "GraphSAGE",
+            "ResNet50",
+            V100,
+            batch_time("GraphSAGE", "V100"),
+            batch_time("ResNet50", "V100"),
+            mode=SwitchMode.HARE,
+        )
+        assert omega < 0.05

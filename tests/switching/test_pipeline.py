@@ -1,0 +1,94 @@
+"""Tests for the pipelined model-transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.switching import (
+    PipelineParams,
+    group_layers,
+    pipelined_transfer,
+    sequential_transfer,
+)
+
+PCIE = 15.75e9
+
+
+class TestGrouping:
+    def test_groups_sum_to_total(self):
+        layers = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        groups = group_layers(layers, 2)
+        assert sum(groups) == pytest.approx(layers.sum())
+        assert groups == [3.0, 7.0, 5.0]
+
+    def test_group_of_one(self):
+        assert group_layers(np.array([1.0, 2.0]), 1) == [1.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            group_layers(np.array([]), 2)
+
+
+class TestSequentialTransfer:
+    def test_bandwidth_bound(self):
+        layers = np.array([PCIE])  # 1 second of data
+        t = sequential_transfer(layers, PCIE, per_layer_launch_s=0.0)
+        assert t == pytest.approx(1.0)
+
+    def test_per_layer_launch_added(self):
+        layers = np.ones(10)
+        t = sequential_transfer(layers, PCIE, per_layer_launch_s=1e-3)
+        assert t == pytest.approx(10e-3, rel=0.01)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            sequential_transfer(np.ones(2), 0.0)
+
+
+class TestPipelinedTransfer:
+    def test_pipelining_beats_sequential(self):
+        layers = np.full(20, 50e6)  # 1 GB model
+        pipe = pipelined_transfer(layers, PCIE, nonoverlap_fraction=0.1)
+        seq = sequential_transfer(layers, PCIE)
+        assert pipe.total_s < seq
+
+    def test_components_nonnegative(self):
+        layers = np.full(8, 10e6)
+        b = pipelined_transfer(layers, PCIE)
+        assert b.startup_s >= 0 and b.first_group_s >= 0
+        assert b.sync_s >= 0 and b.residual_s >= 0
+
+    def test_nonoverlap_fraction_monotone(self):
+        layers = np.full(8, 50e6)
+        lo = pipelined_transfer(layers, PCIE, nonoverlap_fraction=0.1)
+        hi = pipelined_transfer(layers, PCIE, nonoverlap_fraction=0.9)
+        assert hi.total_s > lo.total_s
+
+    def test_early_cleaning_strictly_helps(self):
+        layers = np.full(12, 30e6)
+        cold = pipelined_transfer(layers, PCIE, nonoverlap_fraction=0.4)
+        early = pipelined_transfer(
+            layers, PCIE, nonoverlap_fraction=0.4, early_cleaning=True
+        )
+        assert early.total_s < cold.total_s
+        assert early.first_group_s < cold.first_group_s
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            pipelined_transfer(np.ones(4), PCIE, nonoverlap_fraction=1.5)
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineParams(startup_s=-1)
+        with pytest.raises(ConfigurationError):
+            PipelineParams(group_size=0)
+
+    def test_more_groups_more_sync(self):
+        layers = np.full(20, 1e6)
+        fine = pipelined_transfer(
+            layers, PCIE, params=PipelineParams(group_size=1)
+        )
+        coarse = pipelined_transfer(
+            layers, PCIE, params=PipelineParams(group_size=10)
+        )
+        assert fine.sync_s > coarse.sync_s

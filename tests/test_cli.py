@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.gpus == 15 and args.jobs == 20
+
+
+class TestCommands:
+    def test_compare_runs(self, capsys):
+        rc = main(
+            ["compare", "--jobs", "6", "--gpus", "8",
+             "--rounds-scale", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Hare" in out and "Gavel_FIFO" in out
+
+    def test_schedule_runs(self, capsys):
+        rc = main(
+            ["schedule", "--scheduler", "hare", "--jobs", "4",
+             "--gpus", "6", "--rounds-scale", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "weighted JCT" in out
+
+    def test_schedule_with_simulation(self, capsys):
+        rc = main(
+            ["schedule", "--scheduler", "sched_allox", "--jobs", "4",
+             "--gpus", "6", "--rounds-scale", "0.05", "--simulate"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "retention hits" in out
+
+    def test_unknown_scheduler(self, capsys):
+        rc = main(
+            ["schedule", "--scheduler", "mystery", "--jobs", "2",
+             "--gpus", "4"]
+        )
+        assert rc == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphSAGE" in out and "hare" in out
+
+    def test_table3_other_gpu(self, capsys):
+        assert main(["table3", "--gpu", "T4"]) == 0
+        assert "T4" in capsys.readouterr().out
+
+    def test_speedups(self, capsys):
+        assert main(["speedups"]) == 0
+        assert "V100" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Tests for the CLI's trace save/load flags and extension schedulers."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload import load_jobs_csv
+
+
+class TestTraceFlags:
+    def test_save_then_load_reproduces(self, tmp_path, capsys):
+        trace = tmp_path / "t.csv"
+        rc = main(
+            ["compare", "--jobs", "4", "--gpus", "6",
+             "--rounds-scale", "0.05", "--save-trace", str(trace)]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["compare", "--trace", str(trace), "--gpus", "6"])
+        assert rc == 0
+        second = capsys.readouterr().out
+        # same workload → identical result rows (titles differ)
+        assert first.splitlines()[-5:] == second.splitlines()[-5:]
+
+    def test_saved_trace_is_loadable(self, tmp_path):
+        trace = tmp_path / "t.csv"
+        main(
+            ["schedule", "--jobs", "3", "--gpus", "4",
+             "--rounds-scale", "0.05", "--save-trace", str(trace)]
+        )
+        jobs = load_jobs_csv(trace)
+        assert len(jobs) == 3
+
+    def test_missing_trace_file_errors(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises((ReproError, FileNotFoundError)):
+            main(["compare", "--trace", "/nonexistent/trace.csv"])
+
+
+class TestExtensionSchedulersViaCli:
+    @pytest.mark.parametrize("name", ["hare_online", "gavel_ts"])
+    def test_schedule_extension(self, name, capsys):
+        rc = main(
+            ["schedule", "--scheduler", name, "--jobs", "3",
+             "--gpus", "4", "--rounds-scale", "0.05"]
+        )
+        assert rc == 0
+        assert "weighted JCT" in capsys.readouterr().out

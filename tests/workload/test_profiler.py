@@ -1,0 +1,93 @@
+"""Tests for the task profiler and instance builder."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import testbed_cluster as _testbed_cluster
+from repro.core import GPUModel, Job
+from repro.workload import TaskProfiler, build_instance
+
+
+@pytest.fixture
+def profiler(testbed):
+    return TaskProfiler(testbed)
+
+
+class TestProfiler:
+    def test_true_times_positive(self, profiler):
+        rec = profiler.true_times("ResNet50", GPUModel.V100, 1.0)
+        assert rec.train_time > 0 and rec.sync_time > 0
+
+    def test_batch_scale_multiplies_training_only(self, profiler):
+        one = profiler.true_times("VGG19", GPUModel.T4, 1.0)
+        two = profiler.true_times("VGG19", GPUModel.T4, 2.0)
+        assert two.train_time == pytest.approx(2 * one.train_time)
+        assert two.sync_time == pytest.approx(one.sync_time)
+
+    def test_database_caches(self, profiler):
+        profiler.profile("ResNet50", GPUModel.V100)
+        misses = profiler.database.misses
+        profiler.profile("ResNet50", GPUModel.V100)
+        assert profiler.database.hits == 1
+        assert profiler.database.misses == misses
+
+    def test_noise_free_profile_matches_truth(self, profiler):
+        rec = profiler.profile("Bert_base", GPUModel.K80)
+        truth = profiler.true_times("Bert_base", GPUModel.K80, 1.0)
+        assert rec.train_time == pytest.approx(truth.train_time)
+
+    def test_noisy_profile_close_to_truth(self, testbed):
+        p = TaskProfiler(testbed, noise_sigma=0.05)
+        p.reseed(7)
+        rec = p.profile("Transformer", GPUModel.V100)
+        truth = p.true_times("Transformer", GPUModel.V100, 1.0)
+        assert rec.train_time == pytest.approx(truth.train_time, rel=0.15)
+        assert rec.train_time != truth.train_time
+
+    def test_round_trace_stability(self, profiler):
+        """Fig. 11: per-round times are stable (small CoV)."""
+        tc, ts = profiler.round_trace(
+            "ResNet50", GPUModel.V100, 200, jitter_sigma=0.02, seed=0
+        )
+        assert len(tc) == 200
+        assert tc.std() / tc.mean() < 0.05
+        assert ts.std() / ts.mean() < 0.05
+
+
+class TestBuildInstance:
+    def test_matrix_shapes(self, testbed):
+        jobs = [
+            Job(job_id=0, model="ResNet50", num_rounds=2, sync_scale=2),
+            Job(job_id=1, model="GraphSAGE", num_rounds=1),
+        ]
+        inst = build_instance(jobs, testbed)
+        assert inst.train_time.shape == (2, 15)
+        assert inst.num_gpus == 15
+
+    def test_same_type_gpus_get_same_times(self, testbed):
+        jobs = [Job(job_id=0, model="VGG19", num_rounds=1)]
+        inst = build_instance(jobs, testbed)
+        models = testbed.gpu_models()
+        v100s = [m for m, g in enumerate(models) if g is GPUModel.V100]
+        times = {inst.tc(0, m) for m in v100s}
+        assert len(times) == 1
+
+    def test_hetero_times_differ_across_types(self, testbed):
+        jobs = [Job(job_id=0, model="ResNet50", num_rounds=1)]
+        inst = build_instance(jobs, testbed)
+        assert inst.alpha() > 2.0
+
+    def test_labels_from_cluster(self, testbed):
+        jobs = [Job(job_id=0, model="VGG19")]
+        inst = build_instance(jobs, testbed)
+        assert list(inst.gpu_labels) == testbed.labels()
+
+    def test_database_shared_across_jobs(self, testbed):
+        profiler = TaskProfiler(testbed)
+        jobs = [
+            Job(job_id=n, model="ResNet50", num_rounds=1) for n in range(5)
+        ]
+        build_instance(jobs, testbed, profiler=profiler)
+        # 4 distinct GPU types → only 4 profiling runs despite 5 jobs.
+        assert len(profiler.database) == 4
+        assert profiler.database.hits >= 4 * 4  # later jobs all hit

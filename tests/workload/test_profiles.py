@@ -1,0 +1,91 @@
+"""Tests for calibrated batch-time profiles (Fig. 2 / Fig. 3 shapes)."""
+
+import pytest
+
+from repro.core import GPUModel, ModelName
+from repro.workload import (
+    PROFILES,
+    batch_time,
+    profile_for,
+    speedup_table,
+    speedup_vs_k80,
+    train_utilization,
+)
+
+
+class TestCalibration:
+    def test_profiles_cover_zoo(self):
+        assert set(PROFILES) == set(ModelName)
+
+    def test_v100_batch_times_match_table3_backout(self):
+        """Table 3 gives Hare switch ms and % of task time → task times."""
+        expected = {
+            "VGG19": 0.152, "ResNet50": 0.055, "InceptionV3": 0.172,
+            "Bert_base": 0.445, "Transformer": 0.426, "DeepSpeech": 0.342,
+        }
+        for name, t in expected.items():
+            assert batch_time(name, "V100") == pytest.approx(t, rel=0.05)
+
+    def test_k80_is_slowest(self):
+        for model in ModelName:
+            k80 = batch_time(model, GPUModel.K80)
+            for gpu in GPUModel:
+                assert batch_time(model, gpu) <= k80 + 1e-12
+
+
+class TestFig2Speedups:
+    def test_resnet50_speedups(self):
+        """Fig. 2: ResNet50 ≈2x on T4, ≈7x on V100."""
+        assert speedup_vs_k80("ResNet50", "T4") == pytest.approx(2.0, rel=0.15)
+        assert speedup_vs_k80("ResNet50", "V100") == pytest.approx(7.0, rel=0.1)
+
+    def test_graphsage_caps_around_2x(self):
+        """Fig. 2: GraphSAGE only ≈2x even on a V100 (input bound)."""
+        assert speedup_vs_k80("GraphSAGE", "V100") < 2.5
+
+    def test_speedup_table_shape(self):
+        table = speedup_table()
+        assert len(table) == 8
+        for row in table.values():
+            assert row[GPUModel.K80] == pytest.approx(1.0)
+
+    def test_compute_bound_models_scale_more_than_graph_models(self):
+        cv = speedup_vs_k80("ResNet50", "V100")
+        graph = speedup_vs_k80("GraphSAGE", "V100")
+        assert cv > 2.5 * graph
+
+
+class TestFig3Utilization:
+    def test_graphsage_v100_below_30_percent(self):
+        assert train_utilization("GraphSAGE", "V100") < 0.30
+
+    def test_graphsage_k80_busy(self):
+        assert train_utilization("GraphSAGE", "K80") > 0.9
+
+    def test_resnet_v100_saturates(self):
+        assert train_utilization("ResNet50", "V100") > 0.9
+
+    def test_utilization_bounded(self):
+        for model in ModelName:
+            for gpu in GPUModel:
+                u = train_utilization(model, gpu)
+                assert 0.0 < u <= 1.0
+
+
+class TestProfileObject:
+    def test_compute_time_scales_with_raw_speedup(self):
+        prof = profile_for("ResNet50")
+        assert prof.compute_time(GPUModel.K80) == pytest.approx(
+            prof.compute_time(GPUModel.V100) * 7.0
+        )
+
+    def test_batch_time_floor_applies(self):
+        prof = profile_for("GraphSAGE")
+        assert prof.batch_time(GPUModel.V100) == pytest.approx(
+            prof.input_floor_s
+        )
+
+    def test_all_gpu_types_covered(self):
+        for prof in PROFILES.values():
+            for gpu in GPUModel:
+                assert prof.batch_time(gpu) > 0

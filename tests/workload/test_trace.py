@@ -1,0 +1,69 @@
+"""Tests for arrival-trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workload import (
+    BatchTrace,
+    GoogleLikeTrace,
+    PoissonTrace,
+    burstiness_index,
+)
+
+
+class TestGoogleLikeTrace:
+    def test_count_and_sorted(self):
+        arr = GoogleLikeTrace().sample(100, seed=0)
+        assert len(arr) == 100
+        assert (np.diff(arr) >= 0).all()
+
+    def test_deterministic(self):
+        a = GoogleLikeTrace().sample(50, seed=3)
+        b = GoogleLikeTrace().sample(50, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = GoogleLikeTrace().sample(50, seed=1)
+        b = GoogleLikeTrace().sample(50, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_burstier_than_poisson(self):
+        g = GoogleLikeTrace(burst_mean=5, gap_median_s=120).sample(400, seed=0)
+        p = PoissonTrace(mean_interarrival_s=30).sample(400, seed=0)
+        assert burstiness_index(g) > burstiness_index(p)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GoogleLikeTrace(burst_mean=0.5)
+        with pytest.raises(ConfigurationError):
+            GoogleLikeTrace(gap_median_s=0)
+
+
+class TestPoissonTrace:
+    def test_first_arrival_at_zero(self):
+        arr = PoissonTrace().sample(10, seed=0)
+        assert arr[0] == pytest.approx(0.0)
+
+    def test_mean_gap_close_to_parameter(self):
+        arr = PoissonTrace(mean_interarrival_s=10).sample(4000, seed=1)
+        assert np.diff(arr).mean() == pytest.approx(10, rel=0.15)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTrace(mean_interarrival_s=0)
+
+
+class TestBatchTrace:
+    def test_all_at_same_instant(self):
+        arr = BatchTrace(at=4.0).sample(7)
+        assert (arr == 4.0).all()
+
+
+class TestBurstiness:
+    def test_constant_gaps_zero(self):
+        assert burstiness_index(np.arange(10.0)) == pytest.approx(0.0)
+
+    def test_empty_and_single(self):
+        assert burstiness_index(np.array([])) == 0.0
+        assert burstiness_index(np.array([1.0])) == 0.0
