@@ -124,6 +124,108 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(spec: str):
+    from .faults import GpuCrash
+
+    time, gpu = spec.split(":")
+    return GpuCrash(time=float(time), gpu_id=int(gpu))
+
+
+def _parse_slowdown(spec: str):
+    from .faults import GpuSlowdown
+
+    gpu, start, duration, factor = spec.split(":")
+    return GpuSlowdown(
+        gpu_id=int(gpu),
+        start=float(start),
+        duration=float(duration),
+        factor=float(factor),
+    )
+
+
+def _parse_partition(spec: str):
+    from .faults import NetworkPartition
+
+    start, duration = spec.split(":")
+    return NetworkPartition(start=float(start), duration=float(duration))
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .control import ControlPlane
+    from .faults import FaultScenario, HeartbeatConfig, RpcFlakiness
+
+    cluster = _cluster(args)
+    jobs = _workload(args)
+    try:
+        scheduler = scheduler_by_name(args.scheduler)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        scenario = FaultScenario(
+            crashes=tuple(_parse_crash(s) for s in args.crash),
+            slowdowns=tuple(_parse_slowdown(s) for s in args.slowdown),
+            flakiness=(
+                RpcFlakiness(drop_rate=args.drop_rate, seed=args.drop_seed)
+                if args.drop_rate > 0
+                else None
+            ),
+            partitions=tuple(_parse_partition(s) for s in args.partition),
+        )
+    except ValueError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    scenario = scenario.validate(cluster.num_gpus)
+    plane = ControlPlane(
+        cluster=cluster,
+        scheduler=scheduler,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    plane.submit(jobs)
+    result = plane.run_chaos(
+        scenario,
+        heartbeat=HeartbeatConfig(
+            interval_s=args.heartbeat_interval, lease_s=args.lease
+        ),
+    )
+    report = result.report
+    rows = [
+        ["jobs completed", len(result.completions)],
+        ["permanent crashes", len(report.crashes)],
+        ["re-plans", report.replans],
+        ["mean detection latency (s)",
+         (sum(report.detection_latencies) / len(report.detection_latencies))
+         if report.detection_latencies else 0.0],
+        ["heartbeats sent / delivered",
+         f"{report.heartbeats_sent} / {report.heartbeats_delivered}"],
+        ["lost rounds", report.total_lost_rounds],
+        ["lost work (s)", report.lost_work_s],
+        ["checkpoint restores", report.restore_reads],
+        ["checkpoint bytes restored", report.checkpoint_bytes_restored],
+        ["RPC retries / timeouts", f"{report.rpc_retries} / {report.rpc_timeouts}"],
+        ["messages dropped", report.messages_dropped],
+        ["failure-free weighted JCT (s)", report.failure_free_weighted_jct],
+        ["degraded weighted JCT (s)", report.degraded_weighted_jct],
+        ["JCT degradation", report.jct_degradation],
+        ["makespan (s)",
+         f"{report.failure_free_makespan:.1f} -> "
+         f"{report.degraded_makespan:.1f}"],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"chaos: {len(jobs)} jobs on {cluster.num_gpus} GPUs, "
+                f"{len(report.crashes)} crash(es), "
+                f"drop rate {args.drop_rate}"
+            ),
+            float_fmt="{:.3f}",
+        )
+    )
+    return 0
+
+
 def cmd_table3(args: argparse.Namespace) -> int:
     gpu = gpu_spec(args.gpu)
     table = switch_time_table(gpu)
@@ -200,6 +302,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--scheduler", default="hare",
                          help="hare | gavel_fifo | srtf | sched_homo | sched_allox")
     p_sched.set_defaults(func=cmd_schedule)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the control plane under injected faults and recover",
+    )
+    add_workload_args(p_chaos)
+    p_chaos.add_argument("--scheduler", default="hare")
+    p_chaos.add_argument("--crash", action="append", default=[],
+                         metavar="TIME:GPU",
+                         help="permanent GPU crash (repeatable)")
+    p_chaos.add_argument("--slowdown", action="append", default=[],
+                         metavar="GPU:START:DURATION:FACTOR",
+                         help="transient straggler window (repeatable)")
+    p_chaos.add_argument("--partition", action="append", default=[],
+                         metavar="START:DURATION",
+                         help="network partition window (repeatable)")
+    p_chaos.add_argument("--drop-rate", type=float, default=0.0,
+                         help="i.i.d. per-message RPC drop probability")
+    p_chaos.add_argument("--drop-seed", type=int, default=0)
+    p_chaos.add_argument("--heartbeat-interval", type=float, default=2.0)
+    p_chaos.add_argument("--lease", type=float, default=10.0,
+                         help="failure-detector lease (s)")
+    p_chaos.add_argument("--checkpoint-interval", type=int, default=10,
+                         help="checkpoint every N rounds")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_t3 = sub.add_parser("table3", help="print the switching-cost grid")
     p_t3.add_argument("--gpu", default="V100")

@@ -24,12 +24,25 @@ from dataclasses import dataclass, field
 from ..cluster.cluster import Cluster
 from ..core.errors import SimulationError
 from ..core.job import Job, ProblemInstance
-from ..core.types import SwitchMode
+from ..core.metrics import ScheduleMetrics, metrics_from_completions
+from ..core.schedule import Schedule, TaskAssignment, validate_schedule
+from ..core.types import SwitchMode, TaskRef
+from ..faults.detector import DetectionResult, HeartbeatConfig, run_detection
+from ..faults.recovery import (
+    ChaosTelemetry,
+    RecoveryReport,
+    committed_rounds,
+    survivor_cluster,
+)
+from ..faults.retry import RetryPolicy
+from ..faults.scenario import FaultScenario
 from ..schedulers import HareScheduler, Scheduler
-from ..sim.simulator import SimResult, simulate_plan
+from ..schedulers.online import build_residual_instance
+from ..sim.simulator import ClusterSimulator, SimResult, simulate_plan
 from ..workload.models import spec_or_synthetic
 from ..workload.profiler import TaskProfiler, build_instance
 from .messages import (
+    CheckpointRestored,
     GradientPush,
     JobCompleted,
     ModelUpdate,
@@ -61,6 +74,25 @@ class ControlPlaneResult:
     completions: tuple[JobCompleted, ...]
     gradient_pushes: int
     model_updates: int
+    checkpoint_bytes: float
+    control_messages: int
+    control_bytes: float
+    payload_bytes: float
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosResult:
+    """Everything one fault-injected run produced."""
+
+    instance: ProblemInstance
+    plan: Schedule
+    baseline: SimResult
+    realized: Schedule
+    metrics: ScheduleMetrics
+    completions: dict[int, float]
+    report: RecoveryReport
+    acks: tuple[SequenceAck, ...]
+    job_completions: tuple[JobCompleted, ...]
     checkpoint_bytes: float
     control_messages: int
     control_bytes: float
@@ -266,4 +298,353 @@ class ControlPlane:
             control_messages=totals.messages,
             control_bytes=totals.control_bytes,
             payload_bytes=totals.payload_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Chaos: the fault-injected pipeline
+    # ------------------------------------------------------------------
+    def _ship(
+        self,
+        plan: Schedule,
+        gpu_map: list[int],
+        policy: RetryPolicy,
+        *,
+        at: float,
+    ) -> list[SequenceAck]:
+        """Ship every GPU's task sequence over the (unreliable) wire.
+
+        Each sequence rides :meth:`SimTransport.send_with_retry`; if a whole
+        retry cycle times out (e.g. a partition outlasts the backoff span)
+        the scheduler starts a fresh cycle, up to a hard cap.
+        """
+        acks: list[SequenceAck] = []
+        for local_gpu, seq in sorted(plan.gpu_sequences().items()):
+            global_gpu = gpu_map[local_gpu]
+            endpoint = executor_endpoint(global_gpu)
+            message = TaskSequence(
+                gpu_id=global_gpu,
+                tasks=tuple(
+                    to_wire(
+                        PlannedTask(
+                            job_id=a.task.job_id,
+                            round_idx=a.task.round_idx,
+                            slot=a.task.slot,
+                            start=a.start,
+                            train_time=a.train_time,
+                            sync_time=a.sync_time,
+                        )
+                    )
+                    for a in seq
+                ),
+            )
+            t = max(at, self.transport.now)
+            cycles = 8
+            for _ in range(cycles):
+                outcome = self.transport.send_with_retry(
+                    SCHEDULER, endpoint, message, policy, at=t
+                )
+                if outcome.acked:
+                    break
+                t = self.transport.now + policy.timeout_s
+            else:
+                raise SimulationError(
+                    f"executor {endpoint!r} unreachable after "
+                    f"{cycles * policy.max_attempts} send attempts"
+                )
+            self.transport.drain(endpoint)  # consume (incl. duplicates)
+            acks.append(SequenceAck(gpu_id=global_gpu, num_tasks=len(seq)))
+        return acks
+
+    def run_chaos(
+        self,
+        scenario: FaultScenario,
+        *,
+        heartbeat: HeartbeatConfig | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> ChaosResult:
+        """Execute the pipeline under injected faults, recovering as needed.
+
+        The happy path matches :meth:`run`: plan, ship sequences, execute.
+        On top of it the scenario may drop RPCs (sequences are then shipped
+        with retry/backoff), slow GPUs down, restart them transiently — and
+        crash them permanently. Each permanent crash triggers the recovery
+        pipeline: lease-based detection from heartbeats, rollback of
+        affected jobs to their latest blob-store checkpoint (paying the
+        restore read and losing the rounds since it), residual re-planning
+        on the surviving GPUs, and re-shipped sequences. The committed
+        pre-failure prefix and every recovery phase stitch into one global
+        realized schedule, validated against the paper's constraints.
+
+        Per-task PS gradient replay is skipped in chaos mode: recovery
+        control traffic (heartbeats, restores, sequences) must stay in
+        causal order on the monotonic wire, and the data-plane accounting
+        is :meth:`run`'s concern.
+        """
+        heartbeat = heartbeat or HeartbeatConfig()
+        retry = retry or RetryPolicy()
+        jobs = self._collect_submissions()
+        if not jobs:
+            raise SimulationError("no jobs submitted")
+        scenario.validate(self.cluster.num_gpus)
+        jobs_by_id = {job.job_id: job for job in jobs}
+        instance = build_instance(jobs, self.cluster, profiler=self.profiler)
+        plan = self.scheduler.schedule(instance)
+
+        # Failure-free reference run (reliable wire) for degradation metrics.
+        baseline = simulate_plan(
+            self.cluster, instance, plan, switch_mode=self.switch_mode
+        )
+
+        # Arm the unreliable wire; every send below may drop.
+        self.transport.faults = scenario.network()
+        telemetry = ChaosTelemetry()
+        managers = {
+            job.job_id: CheckpointManager(
+                store=self.store,
+                job_id=job.job_id,
+                model_bytes=spec_or_synthetic(job.model).model_bytes,
+                interval=self.checkpoint_interval,
+            )
+            for job in jobs
+        }
+        rounds_done = {job.job_id: 0 for job in jobs}
+        ready_at = {job.job_id: job.arrival for job in jobs}
+        checkpointed = {job.job_id: 0 for job in jobs}
+        checkpoint_bytes = 0.0
+        committed: dict[tuple[int, int], list[TaskAssignment]] = {}
+        completions: dict[int, float] = {}
+
+        cur_cluster = self.cluster
+        gpu_map = list(range(instance.num_gpus))  # local → global GPU id
+        cur_instance, cur_plan = instance, plan
+        id_map = [(job.job_id, 0) for job in jobs]  # local → (global, offset)
+        dead: set[int] = set()
+        phase_start = 0.0
+        all_windows = scenario.slowdown_windows()
+        all_restarts = scenario.restart_failures()
+
+        def local_faults(
+            t0: float,
+        ) -> tuple[list[tuple[float, float, int, float]], list[tuple[float, int]]]:
+            """Slowdowns/restarts still relevant to the current phase,
+            re-indexed to the surviving cluster's local GPU ids."""
+            windows = [
+                (s, e, gpu_map.index(g), f)
+                for s, e, g, f in all_windows
+                if g in gpu_map and e > t0
+            ]
+            restarts = [
+                (t, gpu_map.index(g))
+                for t, g in all_restarts
+                if g in gpu_map and t >= t0
+            ]
+            return windows, restarts
+
+        def commit_records(phase: SimResult) -> None:
+            """Keep records of committed rounds; the rest is lost work."""
+            for rec in phase.telemetry.records:
+                g, offset = id_map[rec.task.job_id]
+                global_round = offset + rec.task.round_idx
+                if global_round < rounds_done[g]:
+                    committed.setdefault((g, global_round), []).append(
+                        TaskAssignment(
+                            task=TaskRef(g, global_round, rec.task.slot),
+                            gpu=gpu_map[rec.gpu],
+                            start=rec.start,
+                            train_time=rec.train_time,
+                            sync_time=rec.sync_time,
+                        )
+                    )
+                else:
+                    telemetry.lost_work_s += rec.train_time
+            telemetry.lost_work_s += phase.telemetry.wasted_compute_s
+
+        acks = self._ship(cur_plan, gpu_map, retry, at=0.0)
+
+        for crash in scenario.ordered_crashes():
+            # 1. Lease-based detection from heartbeats over the flaky wire.
+            alive = [g for g in range(instance.num_gpus) if g not in dead]
+            detection = run_detection(
+                self.transport,
+                alive,
+                crash,
+                scenario,
+                cfg=heartbeat,
+                start=phase_start,
+                endpoint_of=executor_endpoint,
+                scheduler_endpoint=SCHEDULER,
+            )
+            telemetry.detections.append(detection)
+            t_dead = detection.detected_at
+
+            # 2. Freeze the running phase at the detection time with the
+            # crash physically injected.
+            local_crash = gpu_map.index(crash.gpu_id)
+            windows, restarts = local_faults(phase_start)
+            phase = ClusterSimulator(
+                cluster=cur_cluster,
+                instance=cur_instance,
+                switch_mode=self.switch_mode,
+                failures=restarts,
+                permanent_failures=[
+                    (max(crash.time, phase_start), local_crash)
+                ],
+                slowdowns=windows,
+            ).run(cur_plan, stop_at=t_dead)
+
+            # Which local rounds had work planned on the dead GPU?
+            on_dead: dict[int, set[int]] = {}
+            for a in cur_plan.assignments.values():
+                if a.gpu == local_crash:
+                    on_dead.setdefault(a.task.job_id, set()).add(
+                        a.task.round_idx
+                    )
+
+            # 3. Commit completed rounds (checkpoints stream as barriers
+            # open — the PS survives the crash); roll affected jobs back
+            # to their newest checkpoint.
+            for local_id, (g, offset) in enumerate(id_map):
+                local_job = cur_instance.jobs[local_id]
+                comp = committed_rounds(
+                    phase.pool, local_id, local_job.num_rounds
+                )
+                for r in range(comp):
+                    barrier = phase.pool.barrier_time(local_id, r)
+                    meta = managers[g].maybe_checkpoint(offset + r, at=barrier)
+                    if meta is not None:
+                        checkpoint_bytes += meta.size_bytes
+                        checkpointed[g] = offset + r + 1
+                candidate = offset + comp
+                affected = any(
+                    r >= comp for r in on_dead.get(local_id, ())
+                )
+                if affected:
+                    target = checkpointed[g]
+                    restore_s = 0.0
+                    if target > 0:
+                        meta = managers[g].restore_latest()
+                        restore_s = managers[g].restore_time(meta)
+                        telemetry.checkpoint_bytes_restored += meta.size_bytes
+                        telemetry.restore_reads += 1
+                        telemetry.restore_time_s += restore_s
+                        self.transport.send(
+                            PS,
+                            SCHEDULER,
+                            CheckpointRestored(
+                                job_id=g,
+                                version=meta.version,
+                                round_idx=target - 1,
+                                time=t_dead,
+                                data_bytes=meta.size_bytes,
+                            ),
+                            at=max(t_dead, self.transport.now),
+                        )
+                    telemetry.record_lost_round(g, candidate - target)
+                    # Rounds committed in *earlier* phases may roll back too.
+                    for r in range(target, offset):
+                        for a in committed.pop((g, r), []):
+                            telemetry.lost_work_s += a.train_time
+                    rounds_done[g] = target
+                    ready_at[g] = t_dead + restore_s
+                else:
+                    rounds_done[g] = candidate
+                    ready_at[g] = t_dead
+                if rounds_done[g] == jobs_by_id[g].num_rounds:
+                    completions[g] = phase.pool.completion_time(local_id)
+                    final_meta = managers[g].final_checkpoint(
+                        at=completions[g]
+                    )
+                    checkpoint_bytes += final_meta.size_bytes
+            commit_records(phase)
+
+            # 4. Re-plan the residual workload on the survivors.
+            dead.add(crash.gpu_id)
+            cur_cluster, gpu_map = survivor_cluster(self.cluster, dead)
+            residual, id_map = build_residual_instance(
+                instance, jobs, rounds_done, ready_at, gpu_subset=gpu_map
+            )
+            phase_start = t_dead
+            if residual is None:
+                cur_plan = None
+                break
+            cur_instance = residual
+            cur_plan = self.scheduler.schedule(residual)
+            telemetry.replans += 1
+            acks.extend(self._ship(cur_plan, gpu_map, retry, at=t_dead))
+
+        # 5. Run the last plan to completion (no further crashes).
+        if cur_plan is not None:
+            windows, restarts = local_faults(phase_start)
+            final = ClusterSimulator(
+                cluster=cur_cluster,
+                instance=cur_instance,
+                switch_mode=self.switch_mode,
+                failures=restarts,
+                slowdowns=windows,
+            ).run(cur_plan)
+            for local_id, (g, offset) in enumerate(id_map):
+                local_job = cur_instance.jobs[local_id]
+                for r in range(local_job.num_rounds):
+                    barrier = final.pool.barrier_time(local_id, r)
+                    meta = managers[g].maybe_checkpoint(offset + r, at=barrier)
+                    if meta is not None:
+                        checkpoint_bytes += meta.size_bytes
+                        checkpointed[g] = offset + r + 1
+                rounds_done[g] = offset + local_job.num_rounds
+                completions[g] = final.pool.completion_time(local_id)
+                final_meta = managers[g].final_checkpoint(at=completions[g])
+                checkpoint_bytes += final_meta.size_bytes
+            commit_records(final)
+
+        # 6. Stitch committed prefix + recovery phases into one schedule.
+        realized = Schedule(instance)
+        for assigns in committed.values():
+            for a in assigns:
+                realized.add(a)
+        validate_schedule(realized, check_durations=False)
+        makespan = max(
+            (a.end for a in realized.assignments.values()), default=0.0
+        )
+        metrics = metrics_from_completions(
+            jobs, completions, makespan=makespan
+        )
+
+        # 7. Notify the upper layer, in completion order.
+        job_completions: list[JobCompleted] = []
+        for g, time in sorted(completions.items(), key=lambda kv: kv[1]):
+            message = JobCompleted(job_id=g, completion_time=time)
+            self.transport.send(
+                SCHEDULER, UPPER, message, at=max(time, self.transport.now)
+            )
+            job_completions.append(message)
+        self.transport.drain(UPPER)
+        self.transport.drain(SCHEDULER)
+
+        stats = self.transport.total_stats()
+        telemetry.rpc_retries = stats.retries
+        telemetry.rpc_timeouts = stats.timeouts
+        telemetry.rpc_duplicates = stats.duplicates
+        telemetry.messages_dropped = stats.dropped
+        report = telemetry.report(
+            crashes=tuple(scenario.ordered_crashes()),
+            failure_free_weighted_jct=baseline.metrics.total_weighted_completion,
+            degraded_weighted_jct=metrics.total_weighted_completion,
+            failure_free_makespan=baseline.metrics.makespan,
+            degraded_makespan=makespan,
+        )
+        self.transport.faults = None  # disarm the wire
+        return ChaosResult(
+            instance=instance,
+            plan=plan,
+            baseline=baseline,
+            realized=realized,
+            metrics=metrics,
+            completions=completions,
+            report=report,
+            acks=tuple(acks),
+            job_completions=tuple(job_completions),
+            checkpoint_bytes=checkpoint_bytes,
+            control_messages=stats.messages,
+            control_bytes=stats.control_bytes,
+            payload_bytes=stats.payload_bytes,
         )

@@ -182,6 +182,29 @@ class CheckpointSaved(Message):
     path: str
 
 
+# ----------------------------------------------------------------------
+# Fault tolerance: liveness and recovery traffic
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Heartbeat(Message):
+    """Executor → scheduler: periodic liveness beacon (lease renewal)."""
+
+    gpu_id: int
+    seq: int
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointRestored(Message):
+    """Storage → PS: a job's checkpoint was read back for recovery (bulk)."""
+
+    job_id: int
+    version: int
+    round_idx: int
+    time: float
+    data_bytes: float = 0.0
+
+
 @dataclass(frozen=True, slots=True)
 class JobCompleted(Message):
     """Scheduler → upper layer: a job finished all rounds."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.errors import ConfigurationError
+from ..core.errors import CheckpointMissingError, ConfigurationError
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +33,7 @@ class BlobStore:
     """
 
     write_bandwidth: float = 1.2e9  # HDFS-ish aggregate write, bytes/s
+    read_bandwidth: float = 2.4e9  # reads stream from replicas, bytes/s
     _blobs: dict[str, list[BlobMeta]] = field(default_factory=dict)
     bytes_written: float = 0.0
     bytes_read: float = 0.0
@@ -70,6 +71,10 @@ class BlobStore:
         """Seconds to persist a blob of this size."""
         return size_bytes / self.write_bandwidth
 
+    def read_time(self, size_bytes: float) -> float:
+        """Seconds to read a blob back (the checkpoint-restore cost)."""
+        return size_bytes / self.read_bandwidth
+
     def __contains__(self, path: str) -> bool:
         return path in self._blobs
 
@@ -105,4 +110,16 @@ class CheckpointManager:
         return self.store.put(self.path, self.model_bytes, at=at)
 
     def restore_latest(self) -> BlobMeta:
-        return self.store.get(self.path)
+        """Read back the newest checkpoint (the crash-recovery path).
+
+        Raises :class:`~repro.core.errors.CheckpointMissingError` when the
+        job has never checkpointed — callers then restart from round 0.
+        """
+        try:
+            return self.store.get(self.path)
+        except KeyError:
+            raise CheckpointMissingError(self.job_id, self.path) from None
+
+    def restore_time(self, meta: BlobMeta) -> float:
+        """Seconds the restore read occupies storage bandwidth."""
+        return self.store.read_time(meta.size_bytes)

@@ -6,16 +6,26 @@ network. Control messages pay a fixed RPC latency; bulk payloads
 (gradients, model weights) additionally pay ``bytes / bandwidth``. The
 transport keeps per-link statistics so experiments can report control-plane
 overhead.
+
+The wire can be made unreliable: attach a fault model (any object with a
+``drops(src, dst, at) -> bool`` method, normally an
+:class:`~repro.faults.scenario.UnreliableNetwork`) and sends may vanish.
+:meth:`SimTransport.send_with_retry` layers a timeout/backoff retry loop on
+top, with full accounting of retries, timeouts and duplicate deliveries.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 
 from ..core.errors import ConfigurationError, SimulationError
 from .messages import Message
+
+#: Delivery time :meth:`SimTransport.send` returns for a dropped message.
+DROPPED = math.inf
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,10 +46,27 @@ class LinkStats:
     messages: int = 0
     control_bytes: float = 0.0
     payload_bytes: float = 0.0
+    dropped: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    duplicates: int = 0
 
     @property
     def total_bytes(self) -> float:
         return self.control_bytes + self.payload_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class RpcOutcome:
+    """Result of one :meth:`SimTransport.send_with_retry` call."""
+
+    delivered_at: float
+    attempts: int
+    acked: bool
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
 
 
 @dataclass(slots=True)
@@ -48,6 +75,11 @@ class SimTransport:
 
     rpc_latency_s: float = 5e-4
     bandwidth: float = 25e9 / 8  # 25 Gbps in bytes/s
+    #: Optional fault model: any object with ``drops(src, dst, at) -> bool``
+    #: (see :class:`repro.faults.scenario.UnreliableNetwork`). When set,
+    #: sends it vetoes are counted in :attr:`LinkStats.dropped` and never
+    #: delivered; :meth:`send` returns :data:`DROPPED` for them.
+    faults: object | None = None
     _endpoints: set[str] = field(default_factory=set)
     _inboxes: dict[str, list] = field(default_factory=dict)
     _counter: itertools.count = field(default_factory=itertools.count)
@@ -73,17 +105,76 @@ class SimTransport:
         self.now = max(self.now, sent_at)
         envelope = message.wire_bytes() - message.payload_bytes
         transfer = message.payload_bytes / self.bandwidth
+        stats = self._stats.setdefault((src, dst), LinkStats())
+        stats.messages += 1
+        stats.control_bytes += envelope
+        stats.payload_bytes += message.payload_bytes
+        if self.faults is not None and self.faults.drops(src, dst, sent_at):
+            stats.dropped += 1
+            return DROPPED
         delivered_at = sent_at + self.rpc_latency_s + transfer
         heapq.heappush(
             self._inboxes[dst],
             (delivered_at, next(self._counter),
              Delivery(src, dst, message, sent_at, delivered_at)),
         )
-        stats = self._stats.setdefault((src, dst), LinkStats())
-        stats.messages += 1
-        stats.control_bytes += envelope
-        stats.payload_bytes += message.payload_bytes
         return delivered_at
+
+    def send_with_retry(
+        self,
+        src: str,
+        dst: str,
+        message: Message,
+        policy,
+        *,
+        at: float | None = None,
+    ) -> RpcOutcome:
+        """Send with timeout/backoff retries until acknowledged.
+
+        Each attempt sends *message*; if it (or the returning ack, drawn
+        against the same fault model on the reverse link) is lost, the
+        sender waits ``policy.timeout_s``, backs off per
+        ``policy.backoff(attempt)``, and retries — up to
+        ``policy.max_attempts`` attempts. An attempt whose request arrived
+        but whose ack was lost re-delivers the message: the receiver sees a
+        duplicate, counted in :attr:`LinkStats.duplicates`. Retries and
+        timeouts land in the (src, dst) link's stats.
+
+        Returns an :class:`RpcOutcome`; ``acked=False`` means every attempt
+        timed out (the message may still have been delivered).
+        """
+        t = self.now if at is None else at
+        delivered_before = False
+        first_delivery = DROPPED
+        for attempt in range(policy.max_attempts):
+            delivered_at = self.send(src, dst, message, at=t)
+            stats = self._stats[(src, dst)]
+            arrived = delivered_at != DROPPED
+            if arrived:
+                if delivered_before:
+                    stats.duplicates += 1
+                else:
+                    first_delivery = delivered_at
+                delivered_before = True
+            ack_lost = self.faults is not None and self.faults.drops(
+                dst, src, delivered_at if arrived else t
+            )
+            if arrived and not ack_lost:
+                return RpcOutcome(
+                    delivered_at=first_delivery,
+                    attempts=attempt + 1,
+                    acked=True,
+                )
+            stats.timeouts += 1
+            t += policy.timeout_s
+            if attempt + 1 < policy.max_attempts:
+                stats.retries += 1
+                t += policy.backoff(attempt, key=dst)
+        return RpcOutcome(
+            delivered_at=first_delivery,
+            attempts=policy.max_attempts,
+            acked=False,
+        )
 
     def receive(self, endpoint: str) -> Delivery | None:
         """Pop the earliest pending delivery for *endpoint* (or None)."""
@@ -117,4 +208,8 @@ class SimTransport:
             total.messages += s.messages
             total.control_bytes += s.control_bytes
             total.payload_bytes += s.payload_bytes
+            total.dropped += s.dropped
+            total.retries += s.retries
+            total.timeouts += s.timeouts
+            total.duplicates += s.duplicates
         return total

@@ -1,0 +1,62 @@
+"""Fault tolerance: failure scenarios, detection, retry and recovery.
+
+The §6 prototype assumes a cooperative cluster; this subpackage adds the
+production-grade robustness layer on top of it:
+
+* :mod:`~repro.faults.scenario` — a composable description of injected
+  faults (permanent GPU crashes, transient stragglers, flaky RPCs, brief
+  network partitions) that drives both the simulator and the transport;
+* :mod:`~repro.faults.retry` — the RPC retry policy (bounded attempts,
+  exponential backoff with deterministic jitter, per-message timeout);
+* :mod:`~repro.faults.detector` — a heartbeat/lease failure detector that
+  distinguishes stragglers (late heartbeats → SUSPECT) from crashes
+  (expired lease → DEAD);
+* :mod:`~repro.faults.recovery` — residual re-planning machinery and the
+  recovery report: restore affected jobs from their latest checkpoint,
+  re-plan the remaining rounds of all jobs on the surviving GPUs, and
+  stitch the pre-failure committed work to the recovery plan.
+"""
+
+from .detector import (
+    DetectionResult,
+    FailureDetector,
+    GpuHealth,
+    HeartbeatConfig,
+    run_detection,
+)
+from .recovery import (
+    ChaosTelemetry,
+    RecoveryReport,
+    committed_rounds,
+    survivor_cluster,
+)
+from .retry import RetryPolicy
+from .scenario import (
+    FaultScenario,
+    GpuCrash,
+    GpuRestart,
+    GpuSlowdown,
+    NetworkPartition,
+    RpcFlakiness,
+    UnreliableNetwork,
+)
+
+__all__ = [
+    "ChaosTelemetry",
+    "DetectionResult",
+    "FailureDetector",
+    "FaultScenario",
+    "GpuCrash",
+    "GpuHealth",
+    "GpuRestart",
+    "GpuSlowdown",
+    "HeartbeatConfig",
+    "NetworkPartition",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RpcFlakiness",
+    "UnreliableNetwork",
+    "committed_rounds",
+    "run_detection",
+    "survivor_cluster",
+]

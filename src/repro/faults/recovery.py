@@ -1,0 +1,143 @@
+"""Recovery machinery: survivors, committed work, and the recovery report.
+
+When the detector confirms a permanent GPU failure, the control plane
+
+1. freezes the **committed** work — rounds whose barrier opened before the
+   detection time are safe at the parameter server;
+2. rolls **affected** jobs (those whose remaining plan touched the dead
+   GPU) back to their latest :class:`~repro.control.storage.BlobStore`
+   checkpoint, paying the restore read and losing the rounds since it;
+3. re-plans the residual workload — the remaining rounds of *all*
+   unfinished jobs — on the surviving GPUs, reusing the online scheduler's
+   residual-instance machinery
+   (:func:`repro.schedulers.online.build_residual_instance`);
+4. stitches the committed prefix to the realized recovery execution into
+   one global schedule.
+
+This module holds the pieces of that pipeline that are independent of the
+control plane itself, plus the :class:`RecoveryReport` the chaos CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster, make_cluster
+from ..core.errors import SimulationError
+from .detector import DetectionResult
+from .scenario import GpuCrash
+
+
+def survivor_cluster(
+    cluster: Cluster, dead: set[int]
+) -> tuple[Cluster, list[int]]:
+    """The cluster minus *dead* GPUs, plus the local → global id map."""
+    survivors = [d for d in cluster.devices() if d.gpu_id not in dead]
+    if not survivors:
+        raise SimulationError("no surviving GPUs to recover onto")
+    return (
+        make_cluster([d.model for d in survivors], network=cluster.network),
+        [d.gpu_id for d in survivors],
+    )
+
+
+def committed_rounds(pool, job_id: int, num_rounds: int) -> int:
+    """Consecutive rounds of *job_id* whose barrier has opened in *pool*."""
+    done = 0
+    while done < num_rounds and pool.round_complete(job_id, done):
+        done += 1
+    return done
+
+
+@dataclass(slots=True)
+class ChaosTelemetry:
+    """Mutable accumulator for one chaos run's recovery metrics."""
+
+    detections: list[DetectionResult] = field(default_factory=list)
+    replans: int = 0
+    lost_work_s: float = 0.0
+    lost_rounds: dict[int, int] = field(default_factory=dict)
+    checkpoint_bytes_restored: float = 0.0
+    restore_reads: int = 0
+    restore_time_s: float = 0.0
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    rpc_duplicates: int = 0
+    messages_dropped: int = 0
+
+    def record_lost_round(self, job_id: int, rounds: int) -> None:
+        if rounds > 0:
+            self.lost_rounds[job_id] = self.lost_rounds.get(job_id, 0) + rounds
+
+    def report(
+        self,
+        *,
+        crashes: tuple[GpuCrash, ...],
+        failure_free_weighted_jct: float,
+        degraded_weighted_jct: float,
+        failure_free_makespan: float,
+        degraded_makespan: float,
+    ) -> "RecoveryReport":
+        return RecoveryReport(
+            crashes=crashes,
+            detections=tuple(self.detections),
+            replans=self.replans,
+            lost_work_s=self.lost_work_s,
+            lost_rounds=dict(self.lost_rounds),
+            checkpoint_bytes_restored=self.checkpoint_bytes_restored,
+            restore_reads=self.restore_reads,
+            restore_time_s=self.restore_time_s,
+            rpc_retries=self.rpc_retries,
+            rpc_timeouts=self.rpc_timeouts,
+            rpc_duplicates=self.rpc_duplicates,
+            messages_dropped=self.messages_dropped,
+            failure_free_weighted_jct=failure_free_weighted_jct,
+            degraded_weighted_jct=degraded_weighted_jct,
+            failure_free_makespan=failure_free_makespan,
+            degraded_makespan=degraded_makespan,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """Everything a chaos run reveals about the fault-tolerance layer."""
+
+    crashes: tuple[GpuCrash, ...]
+    detections: tuple[DetectionResult, ...]
+    replans: int
+    lost_work_s: float
+    lost_rounds: dict[int, int]
+    checkpoint_bytes_restored: float
+    restore_reads: int
+    restore_time_s: float
+    rpc_retries: int
+    rpc_timeouts: int
+    rpc_duplicates: int
+    messages_dropped: int
+    failure_free_weighted_jct: float
+    degraded_weighted_jct: float
+    failure_free_makespan: float
+    degraded_makespan: float
+
+    @property
+    def detection_latencies(self) -> tuple[float, ...]:
+        return tuple(d.latency_s for d in self.detections)
+
+    @property
+    def heartbeats_sent(self) -> int:
+        return sum(d.heartbeats_sent for d in self.detections)
+
+    @property
+    def heartbeats_delivered(self) -> int:
+        return sum(d.heartbeats_delivered for d in self.detections)
+
+    @property
+    def total_lost_rounds(self) -> int:
+        return sum(self.lost_rounds.values())
+
+    @property
+    def jct_degradation(self) -> float:
+        """Degraded weighted JCT over failure-free (>= 1 under pure delays)."""
+        if self.failure_free_weighted_jct <= 0:
+            return 1.0
+        return self.degraded_weighted_jct / self.failure_free_weighted_jct

@@ -1,0 +1,60 @@
+"""RPC retry policy: bounded attempts, exponential backoff, jitter.
+
+The §6 prototype's gRPC calls are assumed to always succeed; under a
+:class:`~repro.faults.scenario.FaultScenario` they can be dropped, so the
+control plane retries them. The policy is deliberately conventional
+(production RPC stacks all converge on this shape): a per-attempt timeout,
+exponential backoff capped at ``max_backoff_s``, and deterministic jitter so
+simulated retry storms de-synchronize without nondeterminism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How the control plane retries an unacknowledged RPC."""
+
+    max_attempts: int = 5
+    timeout_s: float = 0.05
+    base_backoff_s: float = 0.025
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.2  # fraction of the backoff added deterministically
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be > 0")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, *, key: str = "") -> float:
+        """Backoff before retry number *attempt* (0-based).
+
+        ``key`` (e.g. the destination endpoint) seeds the deterministic
+        jitter so concurrent retriers spread out reproducibly.
+        """
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0")
+        base = min(
+            self.base_backoff_s * self.backoff_multiplier**attempt,
+            self.max_backoff_s,
+        )
+        if self.jitter == 0 or base == 0:
+            return base
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # in [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))

@@ -17,7 +17,7 @@ from .hare import (
     strict_gang_schedule,
 )
 from .homo import SchedHomoScheduler
-from .online import OnlineHareScheduler
+from .online import OnlineHareScheduler, build_residual_instance
 from .optimal import brute_force_optimal
 from .relaxation import (
     ExactRelaxationSolver,
@@ -80,6 +80,7 @@ __all__ = [
     "TimeSliceScheduler",
     "all_schedulers",
     "brute_force_optimal",
+    "build_residual_instance",
     "check_gang_feasible",
     "default_schedulers",
     "fastest_free_gpus",

@@ -32,6 +32,70 @@ from ..core.job import Job, ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
 from .base import Scheduler
+
+
+def build_residual_instance(
+    instance: ProblemInstance,
+    jobs: list[Job],
+    rounds_done: dict[int, int],
+    ready_at: dict[int, float],
+    *,
+    gpu_subset: list[int] | None = None,
+) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
+    """The residual problem: remaining rounds of *jobs*, optionally on a
+    GPU subset.
+
+    Each job with rounds left becomes a locally re-indexed job whose
+    arrival is when its next round may start (its last committed barrier,
+    or its recovery-readiness time after a checkpoint restore). Returns the
+    residual instance (``None`` if nothing remains) and the local → global
+    map ``[(global_job_id, round_offset), ...]``.
+
+    ``gpu_subset`` restricts the time matrices to the given (global) GPU
+    columns — the fault-recovery path passes the surviving GPUs here, the
+    online scheduler keeps the full cluster.
+    """
+    residual_jobs: list[Job] = []
+    id_map: list[tuple[int, int]] = []
+    for job in jobs:
+        done = rounds_done[job.job_id]
+        remaining = job.num_rounds - done
+        if remaining <= 0:
+            continue
+        local_id = len(residual_jobs)
+        residual_jobs.append(
+            Job(
+                job_id=local_id,
+                model=job.model,
+                arrival=max(ready_at[job.job_id], job.arrival),
+                weight=job.weight,
+                num_rounds=remaining,
+                sync_scale=job.sync_scale,
+                batch_scale=job.batch_scale,
+            )
+        )
+        id_map.append((job.job_id, done))
+    if not residual_jobs:
+        return None, []
+    globals_ = [g for g, _ in id_map]
+    if gpu_subset is None:
+        train = instance.train_time[globals_]
+        sync = instance.sync_time[globals_]
+        labels = list(instance.gpu_labels)
+    else:
+        cols = np.ix_(globals_, gpu_subset)
+        train = instance.train_time[cols]
+        sync = instance.sync_time[cols]
+        labels = [instance.gpu_labels[m] for m in gpu_subset]
+    return (
+        ProblemInstance(
+            jobs=residual_jobs,
+            train_time=train,
+            sync_time=sync,
+            gpu_labels=labels,
+        ),
+        id_map,
+    )
 from .hare import (
     AUTO_LP_TASK_LIMIT,
     Placement,
@@ -83,35 +147,11 @@ class OnlineHareScheduler(Scheduler):
             is_last = k == len(arrival_times) - 1
             next_t = np.inf if is_last else arrival_times[k + 1]
             known = [j for j in instance.jobs if j.arrival <= t + 1e-12]
-            residual_jobs: list[Job] = []
-            id_map: list[tuple[int, int]] = []  # local -> (global, round0)
-            for job in known:
-                done = rounds_done[job.job_id]
-                remaining = job.num_rounds - done
-                if remaining <= 0:
-                    continue
-                local_id = len(residual_jobs)
-                residual_jobs.append(
-                    Job(
-                        job_id=local_id,
-                        model=job.model,
-                        arrival=max(ready_at[job.job_id], job.arrival),
-                        weight=job.weight,
-                        num_rounds=remaining,
-                        sync_scale=job.sync_scale,
-                        batch_scale=job.batch_scale,
-                    )
-                )
-                id_map.append((job.job_id, done))
-            if not residual_jobs:
-                continue
-            globals_ = [g for g, _ in id_map]
-            residual = ProblemInstance(
-                jobs=residual_jobs,
-                train_time=instance.train_time[globals_],
-                sync_time=instance.sync_time[globals_],
-                gpu_labels=list(instance.gpu_labels),
+            residual, id_map = build_residual_instance(
+                instance, known, rounds_done, ready_at
             )
+            if residual is None:
+                continue
             relaxation = self._solver(residual).solve(residual)
             order = _precedence_safe_order(residual, relaxation)
             plan = list_schedule(

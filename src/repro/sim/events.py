@@ -24,6 +24,7 @@ class EventType(enum.IntEnum):
     JOB_ARRIVAL = 2
     GPU_CHECK = 3
     GPU_FAILURE = 4
+    GPU_CRASH = 5  # permanent: the GPU never restarts
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +69,12 @@ class EventQueue:
         self.now = max(self.now, time)
         self.popped += 1
         return event
+
+    def peek(self) -> Event:
+        """The next event without popping it."""
+        if not self._heap:
+            raise SimulationError("peek into empty event queue")
+        return self._heap[0][3]
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cluster.cluster import Cluster
-from ..core.errors import SimulationError
+from ..core.errors import ConfigurationError, SimulationError
 from ..core.job import ProblemInstance
 from ..core.metrics import ScheduleMetrics, metrics_from_completions
 from ..core.schedule import Schedule, TaskAssignment
@@ -25,7 +25,7 @@ from ..core.types import SwitchMode
 from ..switching.costmodel import SwitchCostModel
 from .engine import Engine
 from .events import Event, EventType
-from .executor import GpuExecutor, build_executors
+from .executor import GpuExecutor, StartedTask, build_executors
 from .paramserver import ParameterServerPool
 from .telemetry import TaskRecord, Telemetry
 
@@ -74,6 +74,19 @@ class ClusterSimulator:
     #: the checkpointing story of §6).
     failures: list[tuple[float, int]] = field(default_factory=list)
     restart_delay_s: float = 1.0
+    #: Permanent GPU crashes: (time, gpu_id) pairs. Unlike :attr:`failures`
+    #: the GPU never restarts — its running task is lost and its remaining
+    #: queue is abandoned (the fault-tolerant control plane re-plans that
+    #: residual work on the survivors). Runs with permanent crashes are
+    #: partial: jobs need not complete, and metrics cover only the jobs
+    #: whose final barrier opened.
+    permanent_failures: list[tuple[float, int]] = field(default_factory=list)
+    #: Transient straggler windows: (start, end, gpu_id, factor). A task
+    #: *started* on the GPU inside the window trains ``factor``× slower —
+    #: the realized telemetry reflects the inflated duration.
+    slowdowns: list[tuple[float, float, int, float]] = field(
+        default_factory=list
+    )
     #: Model NIC sharing: concurrent gradient syncs from GPUs of the same
     #: node split the machine's NIC, inflating each sync by the number of
     #: transfers in flight on that node when it starts. The analytic plan
@@ -87,6 +100,45 @@ class ClusterSimulator:
                 f"cluster has {self.cluster.num_gpus} GPUs but the instance "
                 f"expects {self.instance.num_gpus}"
             )
+        num_gpus = self.cluster.num_gpus
+        for kind, injections in (
+            ("failure", self.failures),
+            ("permanent failure", self.permanent_failures),
+        ):
+            for time, gpu_id in injections:
+                if time < 0:
+                    raise ConfigurationError(
+                        f"{kind} time must be >= 0, got {time} "
+                        f"(GPU {gpu_id})"
+                    )
+                if not 0 <= gpu_id < num_gpus:
+                    raise ConfigurationError(
+                        f"{kind} injected on unknown GPU {gpu_id}; the "
+                        f"cluster has GPUs 0..{num_gpus - 1}"
+                    )
+        for start, end, gpu_id, factor in self.slowdowns:
+            if start < 0 or end <= start:
+                raise ConfigurationError(
+                    f"slowdown window ({start}, {end}) must satisfy "
+                    f"0 <= start < end"
+                )
+            if not 0 <= gpu_id < num_gpus:
+                raise ConfigurationError(
+                    f"slowdown targets unknown GPU {gpu_id}; the cluster "
+                    f"has GPUs 0..{num_gpus - 1}"
+                )
+            if factor < 1.0:
+                raise ConfigurationError(
+                    f"slowdown factor must be >= 1, got {factor}"
+                )
+
+    # ------------------------------------------------------------------
+    def _slowdown_factor(self, gpu_id: int, at: float) -> float:
+        factor = 1.0
+        for start, end, gpu, f in self.slowdowns:
+            if gpu == gpu_id and start <= at < end:
+                factor = max(factor, f)
+        return factor
 
     # ------------------------------------------------------------------
     def _jitter(
@@ -116,7 +168,7 @@ class ClusterSimulator:
         return out
 
     # ------------------------------------------------------------------
-    def run(self, plan: Schedule) -> SimResult:
+    def run(self, plan: Schedule, *, stop_at: float | None = None) -> SimResult:
         instance = self.instance
         engine = Engine()
         pool = ParameterServerPool(instance)
@@ -147,6 +199,21 @@ class ClusterSimulator:
             if not executor.head_ready(now, barrier_open):
                 return
             started = executor.start_head(now)
+            factor = self._slowdown_factor(executor.gpu_id, started.start)
+            if factor > 1.0:
+                a = started.assignment
+                started = StartedTask(
+                    assignment=TaskAssignment(
+                        task=a.task,
+                        gpu=a.gpu,
+                        start=a.start,
+                        train_time=a.train_time * factor,
+                        sync_time=a.sync_time,
+                    ),
+                    start=started.start,
+                    switch_time=started.switch_time,
+                    retained_hit=started.retained_hit,
+                )
             in_flight[executor.gpu_id] = started
             engine.at(
                 started.compute_end,
@@ -234,11 +301,26 @@ class ClusterSimulator:
                 executor.gpu_id,
             )
 
+        def on_gpu_crash(event: Event) -> None:
+            # Permanent: abandon in-flight and queued work, never restart.
+            executor = by_gpu[event.payload]
+            if executor.running is not None:
+                started = in_flight.pop(executor.gpu_id)
+                wasted = max(0.0, event.time - started.start)
+                telemetry.record_abort(wasted)
+                executor.abort_running()
+            executor.memory.flush()
+            executor.prev_job = None
+            executor.prev_model = None
+            executor.queue.clear()
+            telemetry.record_crash(executor.gpu_id, event.time)
+
         engine.on(EventType.GPU_CHECK, on_gpu_check)
         engine.on(EventType.JOB_ARRIVAL, on_job_arrival)
         engine.on(EventType.TASK_COMPUTE_DONE, on_compute_done)
         engine.on(EventType.TASK_SYNC_DONE, on_sync_done)
         engine.on(EventType.GPU_FAILURE, on_gpu_failure)
+        engine.on(EventType.GPU_CRASH, on_gpu_crash)
 
         # Seed events: arrivals + initial checks + injected failures.
         for job in instance.jobs:
@@ -246,9 +328,9 @@ class ClusterSimulator:
         for executor in executors:
             engine.at(0.0, EventType.GPU_CHECK, executor.gpu_id)
         for time, gpu_id in self.failures:
-            if gpu_id not in by_gpu:
-                raise SimulationError(f"failure injected on unknown GPU {gpu_id}")
             engine.at(time, EventType.GPU_FAILURE, gpu_id)
+        for time, gpu_id in self.permanent_failures:
+            engine.at(time, EventType.GPU_CRASH, gpu_id)
 
         # Exact volume: one arrival per job, one check per GPU, one compute
         # and one sync completion per task; each failure adds at most one
@@ -258,29 +340,38 @@ class ClusterSimulator:
             + instance.num_jobs
             + instance.num_gpus
             + 4 * len(self.failures)
+            + 2 * len(self.permanent_failures)
             + 16
         )
-        processed = engine.run(max_events=budget)
+        processed = engine.run(max_events=budget, until=stop_at)
 
-        if not pool.all_jobs_complete():
-            unfinished = [
-                j.job_id for j in instance.jobs if not pool.job_complete(j.job_id)
-            ]
-            raise SimulationError(
-                f"simulation drained with unfinished jobs {unfinished[:5]}"
-            )
-        for executor in executors:
-            if not executor.done:  # pragma: no cover - defensive
+        # Runs with a horizon or a permanent crash are legitimately
+        # partial: the fault-tolerant control plane re-plans the rest.
+        partial = stop_at is not None or bool(self.permanent_failures)
+        if not partial:
+            if not pool.all_jobs_complete():
+                unfinished = [
+                    j.job_id
+                    for j in instance.jobs
+                    if not pool.job_complete(j.job_id)
+                ]
                 raise SimulationError(
-                    f"GPU {executor.gpu_id} still has queued tasks"
+                    f"simulation drained with unfinished jobs {unfinished[:5]}"
                 )
+            for executor in executors:
+                if not executor.done:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"GPU {executor.gpu_id} still has queued tasks"
+                    )
 
+        finished = [
+            job for job in instance.jobs if pool.job_complete(job.job_id)
+        ]
         completions = {
-            job.job_id: pool.completion_time(job.job_id)
-            for job in instance.jobs
+            job.job_id: pool.completion_time(job.job_id) for job in finished
         }
         metrics = metrics_from_completions(
-            instance.jobs, completions, makespan=telemetry.makespan
+            finished, completions, makespan=telemetry.makespan
         )
         return SimResult(
             realized=realized,
@@ -304,6 +395,9 @@ def simulate_plan(
     nic_contention: bool = False,
     failures: list[tuple[float, int]] | None = None,
     restart_delay_s: float = 1.0,
+    permanent_failures: list[tuple[float, int]] | None = None,
+    slowdowns: list[tuple[float, float, int, float]] | None = None,
+    stop_at: float | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a simulator and run one plan."""
     sim = ClusterSimulator(
@@ -317,5 +411,7 @@ def simulate_plan(
         nic_contention=nic_contention,
         failures=failures or [],
         restart_delay_s=restart_delay_s,
+        permanent_failures=permanent_failures or [],
+        slowdowns=slowdowns or [],
     )
-    return sim.run(plan)
+    return sim.run(plan, stop_at=stop_at)

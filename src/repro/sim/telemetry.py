@@ -46,6 +46,8 @@ class Telemetry:
     switch_count: int = 0
     aborted_attempts: int = 0
     wasted_compute_s: float = 0.0
+    #: permanent GPU crashes observed: (gpu_id, time)
+    crashes: list[tuple[int, float]] = field(default_factory=list)
 
     def record_task(self, record: TaskRecord) -> None:
         self.records.append(record)
@@ -64,6 +66,10 @@ class Telemetry:
         """A GPU failure destroyed an in-flight attempt."""
         self.aborted_attempts += 1
         self.wasted_compute_s += wasted_compute_s
+
+    def record_crash(self, gpu_id: int, time: float) -> None:
+        """A GPU failed permanently at *time*."""
+        self.crashes.append((gpu_id, time))
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,129 @@
+"""Tests for the retry policy and the unreliable transport."""
+
+import pytest
+
+from repro.control import DROPPED, SimTransport
+from repro.control.messages import SubmitJob
+from repro.core.errors import ConfigurationError
+from repro.faults import (
+    FaultScenario,
+    NetworkPartition,
+    RetryPolicy,
+    RpcFlakiness,
+)
+
+
+def message(job_id=0):
+    return SubmitJob(job_id=job_id, model="VGG19", arrival=0.0, weight=1.0,
+                     num_rounds=1, sync_scale=1)
+
+
+def transport(faults=None):
+    t = SimTransport(faults=faults)
+    t.register("a")
+    t.register("b")
+    return t
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff_s=1.0, backoff_multiplier=2.0,
+                             max_backoff_s=3.0, jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(1.0)
+        assert policy.backoff(1) == pytest.approx(2.0)
+        assert policy.backoff(5) == pytest.approx(3.0)  # capped
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.backoff(1, key="x") == policy.backoff(1, key="x")
+        assert policy.backoff(1, key="x") != policy.backoff(1, key="y")
+
+
+class TestUnreliableSend:
+    def test_reliable_wire_never_drops(self):
+        t = transport()
+        assert t.send("a", "b", message()) != DROPPED
+        assert t.total_stats().dropped == 0
+
+    def test_partition_drops_and_accounts(self):
+        net = FaultScenario(
+            partitions=(NetworkPartition(start=0.0, duration=10.0),)
+        ).network()
+        t = transport(net)
+        assert t.send("a", "b", message(), at=5.0) == DROPPED
+        assert t.stats("a", "b").dropped == 1
+        assert t.pending("b") == 0
+
+    def test_retry_succeeds_after_partition(self):
+        """Backoff pushes the retry past the partition's end."""
+        net = FaultScenario(
+            partitions=(NetworkPartition(start=0.0, duration=0.2),)
+        ).network()
+        t = transport(net)
+        policy = RetryPolicy(max_attempts=5, timeout_s=0.1,
+                             base_backoff_s=0.1, jitter=0.0)
+        outcome = t.send_with_retry("a", "b", message(), policy, at=0.0)
+        assert outcome.acked
+        assert outcome.attempts > 1
+        stats = t.stats("a", "b")
+        assert stats.retries == outcome.retries
+        assert stats.timeouts == outcome.attempts - 1
+        assert len(t.drain("b")) == 1
+
+    def test_exhausted_attempts_report_unacked(self):
+        net = FaultScenario(
+            partitions=(NetworkPartition(start=0.0, duration=1e6),)
+        ).network()
+        t = transport(net)
+        policy = RetryPolicy(max_attempts=3, timeout_s=0.1)
+        outcome = t.send_with_retry("a", "b", message(), policy, at=0.0)
+        assert not outcome.acked
+        assert outcome.attempts == 3
+        assert outcome.delivered_at == DROPPED
+        assert t.stats("a", "b").timeouts == 3
+
+    def test_lost_ack_causes_duplicate_delivery(self):
+        """Request arrives, ack drops, retry re-delivers: receiver sees 2."""
+
+        class AckEater:
+            def drops(self, src, dst, at):
+                return src == "b"  # only the reverse (ack) path is lossy
+
+        t = transport(AckEater())
+        policy = RetryPolicy(max_attempts=3, timeout_s=0.1, jitter=0.0)
+        outcome = t.send_with_retry("a", "b", message(), policy, at=0.0)
+        assert not outcome.acked  # every ack eaten
+        assert t.stats("a", "b").duplicates == 2
+        assert len(t.drain("b")) == 3
+
+    def test_flaky_retry_eventually_delivers(self):
+        net = FaultScenario(
+            flakiness=RpcFlakiness(drop_rate=0.3, seed=9)
+        ).network()
+        t = transport(net)
+        policy = RetryPolicy(max_attempts=10, timeout_s=0.05)
+        for n in range(20):
+            outcome = t.send_with_retry("a", "b", message(n), policy)
+            assert outcome.acked
+        assert len(t.drain("b")) >= 20  # duplicates possible
+
+    def test_total_stats_sums_fault_counters(self):
+        net = FaultScenario(
+            flakiness=RpcFlakiness(drop_rate=0.5, seed=2)
+        ).network()
+        t = transport(net)
+        policy = RetryPolicy(max_attempts=8, timeout_s=0.05)
+        for n in range(10):
+            t.send_with_retry("a", "b", message(n), policy)
+        totals = t.total_stats()
+        # net.dropped also counts ack-loss draws that never hit a link
+        assert 0 < totals.dropped <= net.dropped
+        assert totals.retries > 0 and totals.timeouts > 0

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cluster import make_cluster
-from repro.core import Job, ProblemInstance, SimulationError, TaskRef, schedule_from_mapping, validate_schedule
+from repro.core import Job, ProblemInstance, TaskRef, schedule_from_mapping, validate_schedule
+from repro.core.errors import ConfigurationError
 from repro.harness import make_workload
 from repro.schedulers import HareScheduler
 from repro.sim import simulate_plan
@@ -74,8 +75,60 @@ class TestFailureRecovery:
 
     def test_unknown_gpu_rejected(self):
         cluster, inst, plan = single_gpu_plan()
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigurationError, match="unknown GPU 7"):
             simulate_plan(cluster, inst, plan, failures=[(1.0, 7)])
+
+    def test_negative_time_rejected(self):
+        cluster, inst, plan = single_gpu_plan()
+        with pytest.raises(ConfigurationError, match="time must be >= 0"):
+            simulate_plan(cluster, inst, plan, failures=[(-0.5, 0)])
+
+    def test_permanent_failure_validated_at_construction(self):
+        """Bad injections surface before any event is processed."""
+        cluster, inst, plan = single_gpu_plan()
+        with pytest.raises(ConfigurationError, match="unknown GPU 3"):
+            simulate_plan(cluster, inst, plan, permanent_failures=[(1.0, 3)])
+        with pytest.raises(ConfigurationError, match="time must be >= 0"):
+            simulate_plan(cluster, inst, plan, permanent_failures=[(-1.0, 0)])
+
+    def test_slowdown_windows_validated(self):
+        cluster, inst, plan = single_gpu_plan()
+        with pytest.raises(ConfigurationError, match="unknown GPU"):
+            simulate_plan(cluster, inst, plan, slowdowns=[(0.0, 5.0, 9, 2.0)])
+        with pytest.raises(ConfigurationError, match="start < end"):
+            simulate_plan(cluster, inst, plan, slowdowns=[(5.0, 5.0, 0, 2.0)])
+        with pytest.raises(ConfigurationError, match="factor must be >= 1"):
+            simulate_plan(cluster, inst, plan, slowdowns=[(0.0, 5.0, 0, 0.5)])
+
+    def test_permanent_crash_abandons_queue(self):
+        """A permanent crash loses in-flight work and never restarts."""
+        cluster, inst, plan = single_gpu_plan()
+        res = simulate_plan(
+            cluster, inst, plan, permanent_failures=[(3.0, 0)]
+        )
+        # round 0 completed before the crash; rounds 1-2 never run
+        assert res.pool.round_complete(0, 0)
+        assert not res.pool.round_complete(0, 1)
+        assert res.telemetry.crashes == [(0, 3.0)]
+        assert res.telemetry.aborted_attempts == 1
+
+    def test_stop_at_freezes_partial_run(self):
+        cluster, inst, plan = single_gpu_plan()
+        res = simulate_plan(cluster, inst, plan, stop_at=3.0)
+        # only round 0 (ends t=2) fits inside the horizon
+        assert res.pool.round_complete(0, 0)
+        assert not res.pool.round_complete(0, 2)
+
+    def test_slowdown_inflates_started_tasks(self):
+        cluster, inst, plan = single_gpu_plan()
+        slow = simulate_plan(
+            cluster, inst, plan, slowdowns=[(0.0, 100.0, 0, 2.0)]
+        )
+        clean = simulate_plan(cluster, inst, plan)
+        assert slow.pool.completion_time(0) == pytest.approx(
+            2.0 * clean.pool.completion_time(0)
+        )
+        validate_schedule(slow.realized, check_durations=False)
 
     def test_failures_on_realistic_workload(self):
         cluster = make_cluster(["V100", "T4", "K80", "V100"])

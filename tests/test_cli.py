@@ -51,6 +51,25 @@ class TestCommands:
         assert rc == 2
         assert "unknown scheduler" in capsys.readouterr().err
 
+    def test_chaos_runs(self, capsys):
+        rc = main(
+            ["chaos", "--jobs", "4", "--gpus", "6", "--rounds-scale", "0.3",
+             "--seed", "3", "--crash", "8:1", "--slowdown", "2:4:20:1.5",
+             "--drop-rate", "0.05", "--heartbeat-interval", "1",
+             "--lease", "5", "--checkpoint-interval", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jobs completed" in out and "re-plans" in out
+        assert "mean detection latency" in out
+
+    def test_chaos_rejects_bad_crash_gpu(self, capsys):
+        with pytest.raises(Exception):
+            main(
+                ["chaos", "--jobs", "2", "--gpus", "4",
+                 "--rounds-scale", "0.05", "--crash", "1:99"]
+            )
+
     def test_table3(self, capsys):
         assert main(["table3"]) == 0
         out = capsys.readouterr().out
