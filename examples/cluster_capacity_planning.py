@@ -14,9 +14,14 @@ Run:  python examples/cluster_capacity_planning.py
 import numpy as np
 
 from repro.cluster import heterogeneity_preset, scaled_cluster
-from repro.harness import render_series, render_table, run_comparison
-from repro.harness.experiments import make_loaded_workload, make_problem
-from repro.schedulers import HareScheduler
+from repro.harness import (
+    make_loaded_workload,
+    make_problem,
+    render_series,
+    render_table,
+    run_comparison,
+)
+from repro.schedulers import create
 from repro.sim import simulate_plan
 from repro.workload import WorkloadConfig
 
@@ -74,7 +79,7 @@ def utilization_report(jobs) -> None:
     print("== DES replay: per-type utilization under Hare (32 GPUs) ==")
     cluster = scaled_cluster(32)
     instance = make_problem(cluster, jobs)
-    plan = HareScheduler().schedule(instance)
+    plan = create("hare").schedule(instance)
     result = simulate_plan(cluster, instance, plan)
     utils = result.telemetry.gpu_utilization()
     by_type: dict[str, list[float]] = {}

@@ -14,8 +14,7 @@ Run:  python examples/control_plane_walkthrough.py
 
 from repro.cluster import testbed_cluster
 from repro.control import ControlPlane
-from repro.harness import render_table
-from repro.harness.experiments import make_loaded_workload
+from repro.harness import make_loaded_workload, render_table
 from repro.workload import WorkloadConfig
 
 

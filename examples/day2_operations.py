@@ -16,9 +16,8 @@ Run:  python examples/day2_operations.py
 
 from repro.cluster import scaled_cluster
 from repro.core import finish_time_fairness
-from repro.harness import render_table
-from repro.harness.experiments import make_loaded_workload, make_problem
-from repro.schedulers import OnlineHareScheduler, SchedAlloxScheduler
+from repro.harness import make_loaded_workload, make_problem, render_table
+from repro.schedulers import create
 from repro.sim import simulate_plan
 from repro.workload import WorkloadConfig
 
@@ -35,7 +34,7 @@ def main() -> None:
     instance = make_problem(cluster, jobs)
 
     rows = []
-    for scheduler in (OnlineHareScheduler(), SchedAlloxScheduler()):
+    for scheduler in (create("hare_online"), create("sched_allox")):
         plan = scheduler.schedule(instance)
         clean = simulate_plan(cluster, instance, plan)
         # two GPUs crash mid-run; 10 s to restart each

@@ -9,12 +9,10 @@ smallest end-to-end use of the library.
 Run:  python examples/quickstart.py
 """
 
+from repro.api import compare
 from repro.cluster import testbed_cluster
 from repro.core import improvement_percent
-from repro.harness import render_gantt, render_table, run_comparison
-from repro.harness.gantt import GanttOptions
-from repro.harness.experiments import make_loaded_workload
-from repro.workload import WorkloadConfig
+from repro.harness import GanttOptions, render_gantt, render_table
 
 
 def main() -> None:
@@ -24,17 +22,16 @@ def main() -> None:
         f"({', '.join(f'{v}x {k.value}' for k, v in cluster.type_counts().items())})"
     )
 
-    jobs = make_loaded_workload(
-        24,
-        reference_gpus=cluster.num_gpus,
-        load=1.5,  # sustained queueing, like the paper's experiments
-        seed=7,
-        config=WorkloadConfig(rounds_scale=0.15),
+    # load=1.5 gives the sustained queueing of the paper's experiments.
+    comparison = compare(
+        cluster=cluster, jobs=24, seed=7, load=1.5, rounds_scale=0.15
     )
-    print(f"Workload: {len(jobs)} jobs, "
-          f"{sum(j.num_tasks for j in jobs)} tasks total\n")
+    total_tasks = sum(
+        j.num_tasks for j in next(iter(comparison)).instance.jobs
+    )
+    print(f"Workload: 24 jobs, {total_tasks} tasks total\n")
 
-    results = run_comparison(cluster, jobs)
+    results = comparison.results
     hare = results["Hare"].plan_metrics.total_weighted_flow
     rows = []
     for name, r in results.items():

@@ -7,12 +7,13 @@ based list-scheduling algorithm with an α(2+α) approximation guarantee.
 
 Quick start::
 
-    from repro import quick_compare
-    results = quick_compare(num_jobs=12, num_gpus=8, seed=1)
-    for name, m in results.items():
-        print(name, m.total_weighted_completion)
+    from repro import run_experiment
+    result = run_experiment(gpus=8, jobs=10, scheduler="hare", seed=1)
+    print(result.weighted_jct)
+    result.write_trace("hare.trace.json")  # open in ui.perfetto.dev
 
-See :mod:`repro.harness` for the full experiment pipeline and the
+See :mod:`repro.api` for the stable facade (``run_experiment``,
+``simulate``, ``compare``), :mod:`repro.obs` for tracing/metrics, and the
 ``benchmarks/`` directory for every table/figure reproduction.
 """
 
@@ -24,6 +25,7 @@ from . import (
     core,
     dml,
     harness,
+    obs,
     schedulers,
     sim,
     switching,
@@ -31,20 +33,28 @@ from . import (
     theory,
     workload,
 )
+from . import api
+from .api import CompareResult, RunResult, compare, run_experiment
 from .harness.experiments import ExperimentResult, quick_compare, run_comparison
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompareResult",
     "ExperimentResult",
+    "RunResult",
     "__version__",
+    "api",
     "cluster",
+    "compare",
     "control",
     "core",
     "dml",
     "harness",
+    "obs",
     "quick_compare",
     "run_comparison",
+    "run_experiment",
     "schedulers",
     "sim",
     "switching",

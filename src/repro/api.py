@@ -1,0 +1,403 @@
+"""repro.api — the stable programmatic surface of the reproduction.
+
+Three entry points cover the common workflows without reaching into
+harness internals:
+
+* :func:`run_experiment` — one scheduler on one generated (or supplied)
+  workload, optionally replayed on the DES, returning a typed
+  :class:`RunResult`;
+* :func:`simulate` — replay an existing plan on the DES under a fresh
+  observability context;
+* :func:`compare` — several schedulers on the *same* workload, returning a
+  :class:`CompareResult` whose trace merges every run (one Perfetto
+  process per scheduler).
+
+Every run owns a private :class:`~repro.obs.Obs` (tracer + metrics
+registry), so concurrent or repeated runs never cross-contaminate. The
+result objects know how to export their artifacts::
+
+    from repro.api import run_experiment
+
+    result = run_experiment(gpus=8, jobs=10, scheduler="hare", seed=7)
+    print(result.weighted_jct)
+    result.write_trace("hare.trace.json")      # open in ui.perfetto.dev
+    result.write_manifest("run.json", trace_path="hare.trace.json")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence, Union
+
+from .cluster.cluster import Cluster, scaled_cluster, testbed_cluster
+from .core.job import Job, ProblemInstance
+from .core.metrics import ScheduleMetrics, metrics_from_schedule
+from .core.schedule import Schedule, validate_schedule
+from .core.types import SwitchMode
+from .harness.experiments import make_loaded_workload, make_problem
+from .obs import (
+    Obs,
+    build_manifest,
+    chrome_trace,
+    use,
+    write_manifest as _write_manifest_file,
+    write_trace as _write_trace_file,
+)
+from .schedulers import Scheduler, create_from_spec
+from .sim.simulator import SimResult, simulate_plan
+from .workload.jobs import WorkloadConfig
+
+#: How a scheduler may be specified: registry key (``"hare"``), a mapping
+#: with a ``name`` key plus constructor options, or a built instance.
+SchedulerSpec = Union[str, Mapping, Scheduler]
+
+DEFAULT_SCHEMES = (
+    "gavel_fifo", "srtf", "sched_homo", "sched_allox", "hare",
+)
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything one scheduler produced on one workload."""
+
+    scheduler: str
+    cluster: Cluster
+    instance: ProblemInstance
+    plan: Schedule
+    plan_metrics: ScheduleMetrics
+    sim: SimResult | None
+    obs: Obs
+    config: dict
+
+    # -- headline numbers ----------------------------------------------
+    @property
+    def metrics(self) -> ScheduleMetrics:
+        """Simulated metrics when available, else the analytic plan's."""
+        return self.sim.metrics if self.sim is not None else self.plan_metrics
+
+    @property
+    def weighted_jct(self) -> float:
+        return self.metrics.total_weighted_completion
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def telemetry(self):
+        """The DES telemetry (``None`` without ``simulate``)."""
+        return self.sim.telemetry if self.sim is not None else None
+
+    def metrics_snapshot(self) -> dict:
+        """Merged metrics: the run's registry plus the DES telemetry's."""
+        merged = dict(self.obs.metrics.snapshot())
+        if self.sim is not None:
+            merged.update(self.sim.telemetry.metrics.snapshot())
+        return merged
+
+    # -- artifacts ------------------------------------------------------
+    def trace(self, *, include_wall: bool = False) -> dict:
+        """The run as a Chrome/Perfetto trace object."""
+        return chrome_trace(self.obs.tracer, include_wall=include_wall)
+
+    def write_trace(
+        self, path: str | Path, *, include_wall: bool = False
+    ) -> Path:
+        """Write the Perfetto trace JSON (open in ui.perfetto.dev)."""
+        return _write_trace_file(
+            self.obs.tracer, path, include_wall=include_wall
+        )
+
+    def manifest(self, *, trace_path: str | None = None) -> dict:
+        return build_manifest(
+            command=f"api.run_experiment({self.scheduler})",
+            config=self.config,
+            seed=self.config.get("seed"),
+            results={
+                "scheduler": self.scheduler,
+                "weighted_jct": self.weighted_jct,
+                "weighted_flow": self.metrics.total_weighted_flow,
+                "makespan": self.makespan,
+                "simulated": self.sim is not None,
+            },
+            metrics=self.metrics_snapshot(),
+            trace_path=trace_path,
+        )
+
+    def write_manifest(
+        self, path: str | Path, *, trace_path: str | None = None
+    ) -> Path:
+        """Write the ``run.json`` manifest next to the trace."""
+        return _write_manifest_file(
+            self.manifest(trace_path=trace_path), path
+        )
+
+
+@dataclass(slots=True)
+class CompareResult:
+    """Several schedulers' :class:`RunResult` on one shared workload."""
+
+    results: dict[str, RunResult]
+    config: dict
+
+    def __getitem__(self, name: str) -> RunResult:
+        return self.results[name]
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results.values())
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.results)
+
+    def summary(self) -> dict[str, ScheduleMetrics]:
+        return {name: r.metrics for name, r in self.results.items()}
+
+    def metrics_snapshot(self) -> dict:
+        """Per-scheduler metric snapshots, keyed by scheduler name."""
+        return {
+            name: r.metrics_snapshot() for name, r in self.results.items()
+        }
+
+    # -- artifacts ------------------------------------------------------
+    def trace(self, *, include_wall: bool = False) -> dict:
+        """One merged trace, one Perfetto process per scheduler."""
+        return chrome_trace(
+            {name: r.obs.tracer for name, r in self.results.items()},
+            include_wall=include_wall,
+        )
+
+    def write_trace(
+        self, path: str | Path, *, include_wall: bool = False
+    ) -> Path:
+        return _write_trace_file(
+            {name: r.obs.tracer for name, r in self.results.items()},
+            path,
+            include_wall=include_wall,
+        )
+
+    def manifest(self, *, trace_path: str | None = None) -> dict:
+        return build_manifest(
+            command="api.compare",
+            config=self.config,
+            seed=self.config.get("seed"),
+            results={
+                name: {
+                    "weighted_jct": r.weighted_jct,
+                    "weighted_flow": r.metrics.total_weighted_flow,
+                    "makespan": r.makespan,
+                }
+                for name, r in self.results.items()
+            },
+            metrics=self.metrics_snapshot(),
+            trace_path=trace_path,
+        )
+
+    def write_manifest(
+        self, path: str | Path, *, trace_path: str | None = None
+    ) -> Path:
+        return _write_manifest_file(
+            self.manifest(trace_path=trace_path), path
+        )
+
+
+# ----------------------------------------------------------------------
+def _setup(
+    *,
+    gpus: int,
+    jobs: int,
+    seed: int,
+    load: float,
+    rounds_scale: float,
+    cluster: Cluster | None,
+    workload: Sequence[Job] | None,
+) -> tuple[Cluster, list[Job], ProblemInstance]:
+    if cluster is None:
+        cluster = testbed_cluster() if gpus == 15 else scaled_cluster(gpus)
+    if workload is None:
+        workload = make_loaded_workload(
+            jobs,
+            reference_gpus=cluster.num_gpus,
+            load=load,
+            seed=seed,
+            config=WorkloadConfig(rounds_scale=rounds_scale),
+        )
+    workload = list(workload)
+    return cluster, workload, make_problem(cluster, workload)
+
+
+def _run_one(
+    scheduler: SchedulerSpec,
+    cluster: Cluster,
+    instance: ProblemInstance,
+    *,
+    simulate: bool,
+    switch_mode: SwitchMode,
+    trace: bool,
+    validate: bool,
+    config: dict,
+) -> RunResult:
+    sched = create_from_spec(scheduler)
+    obs = Obs.start(trace=trace)
+    with use(obs):
+        plan = sched.schedule(instance)
+        if validate:
+            validate_schedule(plan)
+        sim = (
+            simulate_plan(cluster, instance, plan, switch_mode=switch_mode)
+            if simulate
+            else None
+        )
+    return RunResult(
+        scheduler=sched.name,
+        cluster=cluster,
+        instance=instance,
+        plan=plan,
+        plan_metrics=metrics_from_schedule(plan),
+        sim=sim,
+        obs=obs,
+        config=config,
+    )
+
+
+def run_experiment(
+    *,
+    gpus: int = 15,
+    jobs: int = 20,
+    scheduler: SchedulerSpec = "hare",
+    seed: int = 0,
+    load: float = 1.5,
+    rounds_scale: float = 0.15,
+    simulate: bool = True,
+    switch_mode: SwitchMode = SwitchMode.HARE,
+    trace: bool = True,
+    validate: bool = True,
+    cluster: Cluster | None = None,
+    workload: Sequence[Job] | None = None,
+) -> RunResult:
+    """Run one scheduler end-to-end on a generated (or given) workload.
+
+    The workload is the loaded Google-like mix of the paper's experiments
+    (``load`` × the reference cluster's capacity). Passing ``cluster``
+    and/or ``workload`` skips the respective generation step. With
+    ``simulate`` (the default) the plan is replayed on the DES with
+    ``switch_mode`` switching costs; with ``trace`` the run records
+    structured events exportable via :meth:`RunResult.write_trace`.
+    """
+    cluster, workload, instance = _setup(
+        gpus=gpus, jobs=jobs, seed=seed, load=load,
+        rounds_scale=rounds_scale, cluster=cluster, workload=workload,
+    )
+    config = {
+        "gpus": cluster.num_gpus,
+        "jobs": len(workload),
+        "scheduler": str(scheduler) if not isinstance(scheduler, Scheduler)
+        else scheduler.name,
+        "seed": seed,
+        "load": load,
+        "rounds_scale": rounds_scale,
+        "simulate": simulate,
+        "switch_mode": switch_mode.value,
+    }
+    return _run_one(
+        scheduler, cluster, instance,
+        simulate=simulate, switch_mode=switch_mode, trace=trace,
+        validate=validate, config=config,
+    )
+
+
+def simulate(
+    cluster: Cluster,
+    instance: ProblemInstance,
+    plan: Schedule,
+    *,
+    scheduler: str = "custom",
+    switch_mode: SwitchMode = SwitchMode.HARE,
+    trace: bool = True,
+) -> RunResult:
+    """Replay an existing *plan* on the DES under a fresh observability
+    context; the returned :class:`RunResult` carries the simulation, its
+    telemetry, and the trace."""
+    obs = Obs.start(trace=trace)
+    with use(obs):
+        sim = simulate_plan(
+            cluster, instance, plan, switch_mode=switch_mode
+        )
+    return RunResult(
+        scheduler=scheduler,
+        cluster=cluster,
+        instance=instance,
+        plan=plan,
+        plan_metrics=metrics_from_schedule(plan),
+        sim=sim,
+        obs=obs,
+        config={
+            "gpus": cluster.num_gpus,
+            "jobs": instance.num_jobs,
+            "scheduler": scheduler,
+            "switch_mode": switch_mode.value,
+        },
+    )
+
+
+def compare(
+    *,
+    gpus: int = 15,
+    jobs: int = 20,
+    schedulers: Sequence[SchedulerSpec] | None = None,
+    seed: int = 0,
+    load: float = 1.5,
+    rounds_scale: float = 0.15,
+    simulate: bool = False,
+    switch_mode: SwitchMode = SwitchMode.HARE,
+    trace: bool = True,
+    validate: bool = True,
+    cluster: Cluster | None = None,
+    workload: Sequence[Job] | None = None,
+) -> CompareResult:
+    """Run several schedulers on one shared workload.
+
+    Defaults to the paper's five compared schemes (Hare last). Each run
+    gets a private tracer and registry; :meth:`CompareResult.write_trace`
+    merges them into one Perfetto file with a process per scheduler.
+    """
+    cluster, workload, instance = _setup(
+        gpus=gpus, jobs=jobs, seed=seed, load=load,
+        rounds_scale=rounds_scale, cluster=cluster, workload=workload,
+    )
+    specs = list(schedulers) if schedulers is not None else list(
+        DEFAULT_SCHEMES
+    )
+    config = {
+        "gpus": cluster.num_gpus,
+        "jobs": len(workload),
+        "seed": seed,
+        "load": load,
+        "rounds_scale": rounds_scale,
+        "simulate": simulate,
+        "switch_mode": switch_mode.value,
+    }
+    results: dict[str, RunResult] = {}
+    for spec in specs:
+        run = _run_one(
+            spec, cluster, instance,
+            simulate=simulate, switch_mode=switch_mode, trace=trace,
+            validate=validate, config=config,
+        )
+        results[run.scheduler] = run
+    return CompareResult(results=results, config=config)
+
+
+__all__ = [
+    "CompareResult",
+    "DEFAULT_SCHEMES",
+    "RunResult",
+    "SchedulerSpec",
+    "compare",
+    "run_experiment",
+    "simulate",
+]

@@ -4,13 +4,17 @@ Usage (``python -m repro ...``)::
 
     python -m repro compare  --gpus 40 --jobs 60 --load 2.0 --seed 7
     python -m repro schedule --gpus 15 --jobs 20 --scheduler hare --simulate
+    python -m repro trace    --gpus 15 --jobs 8 --out trace.json
     python -m repro table3
     python -m repro speedups
 
 ``compare`` runs all five schemes and prints the weighted-JCT table;
 ``schedule`` runs one scheme (optionally replaying it on the DES with
-switching costs); ``table3`` and ``speedups`` print the calibration grids
-(paper Table 3 / Fig. 2).
+switching costs); ``trace`` exports a Chrome/Perfetto trace plus a
+``run.json`` manifest; ``table3`` and ``speedups`` print the calibration
+grids (paper Table 3 / Fig. 2). ``compare``/``schedule``/``chaos`` accept
+``--trace-out``/``--manifest-out`` to leave the same artifacts behind
+(``--trace-out`` implies the DES replay — the trace's events come from it).
 """
 
 from __future__ import annotations
@@ -19,12 +23,13 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import api
 from .cluster import gpu_spec, scaled_cluster, testbed_cluster
 from .core import improvement_percent
 from .core.types import ModelName, SwitchMode
-from .harness import render_table, run_comparison
+from .harness import render_table
 from .harness.experiments import make_loaded_workload
-from .schedulers import scheduler_by_name
+from .schedulers import create as create_scheduler
 from .switching import switch_time_table
 from .workload import WorkloadConfig, batch_time, speedup_table
 
@@ -54,10 +59,42 @@ def _workload(args: argparse.Namespace):
     return jobs
 
 
+def _wants_artifacts(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "manifest_out", None)
+    )
+
+
+def _write_artifacts(args: argparse.Namespace, result) -> None:
+    """Export ``--trace-out`` / ``--manifest-out`` for an api result."""
+    trace_path = None
+    if getattr(args, "trace_out", None):
+        trace_path = result.write_trace(args.trace_out)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if getattr(args, "manifest_out", None):
+        manifest = result.write_manifest(
+            args.manifest_out,
+            trace_path=str(trace_path) if trace_path else None,
+        )
+        print(f"manifest written to {manifest}", file=sys.stderr)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster(args)
     jobs = _workload(args)
-    results = run_comparison(cluster, jobs, simulate=args.simulate)
+    # The trace's events come from the DES, so --trace-out implies replay.
+    simulate = args.simulate or bool(getattr(args, "trace_out", None))
+    comparison = api.compare(
+        cluster=cluster,
+        workload=jobs,
+        seed=args.seed,
+        load=args.load,
+        rounds_scale=args.rounds_scale,
+        simulate=simulate,
+        trace=_wants_artifacts(args),
+    )
+    results = comparison.results
     hare = results["Hare"].metrics.total_weighted_flow
     rows = []
     for name, r in results.items():
@@ -78,11 +115,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=(
                 f"{args.jobs} jobs on {cluster.num_gpus} GPUs "
                 f"(load {args.load}, seed {args.seed}"
-                f"{', DES replay' if args.simulate else ''})"
+                f"{', DES replay' if simulate else ''})"
             ),
             float_fmt="{:.1f}",
         )
     )
+    _write_artifacts(args, comparison)
     return 0
 
 
@@ -90,14 +128,21 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     cluster = _cluster(args)
     jobs = _workload(args)
     try:
-        scheduler = scheduler_by_name(args.scheduler)
+        scheduler = create_scheduler(args.scheduler)
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    results = run_comparison(
-        cluster, jobs, schedulers=[scheduler], simulate=args.simulate
+    simulate = args.simulate or bool(getattr(args, "trace_out", None))
+    r = api.run_experiment(
+        cluster=cluster,
+        workload=jobs,
+        scheduler=scheduler,
+        seed=args.seed,
+        load=args.load,
+        rounds_scale=args.rounds_scale,
+        simulate=simulate,
+        trace=_wants_artifacts(args),
     )
-    r = results[scheduler.name]
     m = r.metrics
     rows = [
         ["weighted JCT (Σ w·(C−a))", m.total_weighted_flow],
@@ -110,7 +155,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             ["switch overhead (frac of compute)",
              r.sim.telemetry.switch_overhead_fraction()],
             ["retention hits", r.sim.telemetry.retention_hits],
-            ["mean GPU utilization", r.sim.telemetry.mean_utilization()],
+            ["mean GPU utilization", r.sim.telemetry.mean_utilization],
         ]
     print(
         render_table(
@@ -121,6 +166,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             float_fmt="{:.3f}",
         )
     )
+    _write_artifacts(args, r)
     return 0
 
 
@@ -153,11 +199,12 @@ def _parse_partition(spec: str):
 def cmd_chaos(args: argparse.Namespace) -> int:
     from .control import ControlPlane
     from .faults import FaultScenario, HeartbeatConfig, RpcFlakiness
+    from .obs import Obs, use
 
     cluster = _cluster(args)
     jobs = _workload(args)
     try:
-        scheduler = scheduler_by_name(args.scheduler)
+        scheduler = create_scheduler(args.scheduler)
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -182,12 +229,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
     )
     plane.submit(jobs)
-    result = plane.run_chaos(
-        scenario,
-        heartbeat=HeartbeatConfig(
-            interval_s=args.heartbeat_interval, lease_s=args.lease
-        ),
-    )
+    from contextlib import nullcontext
+
+    obs = Obs.start(trace=True) if _wants_artifacts(args) else None
+    with use(obs) if obs is not None else nullcontext():
+        result = plane.run_chaos(
+            scenario,
+            heartbeat=HeartbeatConfig(
+                interval_s=args.heartbeat_interval, lease_s=args.lease
+            ),
+        )
     report = result.report
     rows = [
         ["jobs completed", len(result.completions)],
@@ -223,6 +274,78 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             float_fmt="{:.3f}",
         )
     )
+    if obs is not None:
+        from .obs import build_manifest, write_manifest, write_trace
+
+        trace_path = None
+        if args.trace_out:
+            trace_path = write_trace(obs.tracer, args.trace_out)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if args.manifest_out:
+            manifest = build_manifest(
+                command="chaos",
+                config={
+                    "gpus": cluster.num_gpus,
+                    "jobs": len(jobs),
+                    "scheduler": args.scheduler,
+                    "seed": args.seed,
+                    "crashes": args.crash,
+                    "drop_rate": args.drop_rate,
+                },
+                seed=args.seed,
+                results={
+                    "jobs_completed": len(result.completions),
+                    "replans": report.replans,
+                    "lost_rounds": report.total_lost_rounds,
+                    "degraded_weighted_jct": report.degraded_weighted_jct,
+                },
+                metrics=obs.metrics,
+                trace_path=str(trace_path) if trace_path else None,
+            )
+            path = write_manifest(manifest, args.manifest_out)
+            print(f"manifest written to {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a Perfetto trace + run manifest for one run (or a compare)."""
+    cluster = _cluster(args)
+    jobs = _workload(args)
+    if args.scheduler == "all":
+        result = api.compare(
+            cluster=cluster,
+            workload=jobs,
+            seed=args.seed,
+            load=args.load,
+            rounds_scale=args.rounds_scale,
+            simulate=True,
+            trace=True,
+        )
+        label = ", ".join(result.names)
+    else:
+        try:
+            scheduler = create_scheduler(args.scheduler)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = api.run_experiment(
+            cluster=cluster,
+            workload=jobs,
+            scheduler=scheduler,
+            seed=args.seed,
+            load=args.load,
+            rounds_scale=args.rounds_scale,
+            simulate=True,
+            trace=True,
+        )
+        label = result.scheduler
+    trace_path = result.write_trace(args.out)
+    manifest_path = result.write_manifest(
+        args.manifest, trace_path=str(trace_path)
+    )
+    print(f"traced {label}: {len(jobs)} jobs on {cluster.num_gpus} GPUs")
+    print(f"trace:    {trace_path}  (open in ui.perfetto.dev)")
+    print(f"manifest: {manifest_path}")
     return 0
 
 
@@ -293,21 +416,45 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--save-trace", metavar="CSV",
                        help="write the generated workload to a trace CSV")
 
+    def add_artifact_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", metavar="JSON",
+                       help="write a Chrome/Perfetto trace of the run "
+                            "(implies --simulate)")
+        p.add_argument("--manifest-out", metavar="JSON",
+                       help="write a run.json manifest of the run")
+
     p_compare = sub.add_parser("compare", help="run all five schedulers")
     add_workload_args(p_compare)
+    add_artifact_args(p_compare)
     p_compare.set_defaults(func=cmd_compare)
 
     p_sched = sub.add_parser("schedule", help="run one scheduler")
     add_workload_args(p_sched)
+    add_artifact_args(p_sched)
     p_sched.add_argument("--scheduler", default="hare",
                          help="hare | gavel_fifo | srtf | sched_homo | sched_allox")
     p_sched.set_defaults(func=cmd_schedule)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run on the DES and export a Perfetto trace + run manifest",
+    )
+    add_workload_args(p_trace)
+    p_trace.add_argument("--scheduler", default="hare",
+                         help="a registry key, or 'all' for the full "
+                              "five-scheme comparison")
+    p_trace.add_argument("--out", default="trace.json", metavar="JSON",
+                         help="trace output path (default: trace.json)")
+    p_trace.add_argument("--manifest", default="run.json", metavar="JSON",
+                         help="manifest output path (default: run.json)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_chaos = sub.add_parser(
         "chaos",
         help="run the control plane under injected faults and recover",
     )
     add_workload_args(p_chaos)
+    add_artifact_args(p_chaos)
     p_chaos.add_argument("--scheduler", default="hare")
     p_chaos.add_argument("--crash", action="append", default=[],
                          metavar="TIME:GPU",

@@ -36,6 +36,7 @@ from ..faults.recovery import (
 )
 from ..faults.retry import RetryPolicy
 from ..faults.scenario import FaultScenario
+from ..obs import Category, current as obs_current
 from ..schedulers import HareScheduler, Scheduler
 from ..schedulers.online import build_residual_instance
 from ..sim.simulator import ClusterSimulator, SimResult, simulate_plan
@@ -58,6 +59,9 @@ from .transport import SimTransport
 UPPER = "upper-layer"
 SCHEDULER = "scheduler"
 PS = "parameter-server"
+
+#: Trace track carrying control-plane instants.
+CTRL_TRACK = "controlplane"
 
 
 def executor_endpoint(gpu_id: int) -> str:
@@ -164,11 +168,19 @@ class ControlPlane:
     # ------------------------------------------------------------------
     def run(self) -> ControlPlaneResult:
         """Execute the full Fig. 9 pipeline for the submitted jobs."""
+        obs = obs_current()
         jobs = self._collect_submissions()
         if not jobs:
             raise SimulationError("no jobs submitted")
         instance = build_instance(jobs, self.cluster, profiler=self.profiler)
-        plan = self.scheduler.schedule(instance)
+        with obs.tracer.timed(
+            Category.CTRL,
+            "plan",
+            track=CTRL_TRACK,
+            scheduler=self.scheduler.name,
+            hist=obs.metrics.histogram("ctrl.plan_s"),
+        ):
+            plan = self.scheduler.schedule(instance)
 
         # Ship sequences to executors; collect acks.
         acks: list[SequenceAck] = []
@@ -198,6 +210,7 @@ class ControlPlane:
             self.transport.send(endpoint, SCHEDULER, ack)
             acks.append(ack)
         self.transport.drain(SCHEDULER)  # consume acks
+        obs.metrics.counter("ctrl.sequence_acks").inc(len(acks))
 
         # Execute on the DES.
         sim = simulate_plan(
@@ -281,7 +294,18 @@ class ControlPlane:
                 )
                 self.transport.send(SCHEDULER, UPPER, completion)
                 completions.append(completion)
+                if obs.enabled:
+                    obs.tracer.instant(
+                        Category.CTRL,
+                        f"job {job_id} completed",
+                        track=CTRL_TRACK,
+                        time=completion.completion_time,
+                        job=job_id,
+                    )
         completions.sort(key=lambda c: c.job_id)
+        obs.metrics.counter("ctrl.completions").inc(len(completions))
+        obs.metrics.counter("ctrl.gradient_pushes").inc(gradient_pushes)
+        obs.metrics.counter("ctrl.model_updates").inc(model_updates)
         self.transport.drain(PS)
         self.transport.drain(executor_endpoint(0))
         self.transport.drain(UPPER)
@@ -380,6 +404,7 @@ class ControlPlane:
         causal order on the monotonic wire, and the data-plane accounting
         is :meth:`run`'s concern.
         """
+        obs = obs_current()
         heartbeat = heartbeat or HeartbeatConfig()
         retry = retry or RetryPolicy()
         jobs = self._collect_submissions()
@@ -388,7 +413,14 @@ class ControlPlane:
         scenario.validate(self.cluster.num_gpus)
         jobs_by_id = {job.job_id: job for job in jobs}
         instance = build_instance(jobs, self.cluster, profiler=self.profiler)
-        plan = self.scheduler.schedule(instance)
+        with obs.tracer.timed(
+            Category.CTRL,
+            "plan",
+            track=CTRL_TRACK,
+            scheduler=self.scheduler.name,
+            hist=obs.metrics.histogram("ctrl.plan_s"),
+        ):
+            plan = self.scheduler.schedule(instance)
 
         # Failure-free reference run (reliable wire) for degradation metrics.
         baseline = simulate_plan(
@@ -527,6 +559,16 @@ class ControlPlane:
                         telemetry.checkpoint_bytes_restored += meta.size_bytes
                         telemetry.restore_reads += 1
                         telemetry.restore_time_s += restore_s
+                        obs.metrics.counter("ctrl.restores").inc()
+                        if obs.enabled:
+                            obs.tracer.instant(
+                                Category.CTRL,
+                                f"restore job {g}",
+                                track=CTRL_TRACK,
+                                time=t_dead,
+                                job=g,
+                                version=meta.version,
+                            )
                         self.transport.send(
                             PS,
                             SCHEDULER,
@@ -568,8 +610,25 @@ class ControlPlane:
                 cur_plan = None
                 break
             cur_instance = residual
-            cur_plan = self.scheduler.schedule(residual)
+            with obs.tracer.timed(
+                Category.CTRL,
+                "replan",
+                track=CTRL_TRACK,
+                survivors=len(gpu_map),
+                hist=obs.metrics.histogram("ctrl.plan_s"),
+            ):
+                cur_plan = self.scheduler.schedule(residual)
             telemetry.replans += 1
+            obs.metrics.counter("ctrl.replans").inc()
+            if obs.enabled:
+                obs.tracer.instant(
+                    Category.CTRL,
+                    f"replan after gpu {crash.gpu_id} crash",
+                    track=CTRL_TRACK,
+                    time=t_dead,
+                    dead_gpu=crash.gpu_id,
+                    survivors=len(gpu_map),
+                )
             acks.extend(self._ship(cur_plan, gpu_map, retry, at=t_dead))
 
         # 5. Run the last plan to completion (no further crashes).

@@ -146,7 +146,9 @@ def gpu_utilization(
     """Busy fraction of each GPU over ``[0, horizon]`` (default: makespan).
 
     "Busy" counts compute time only; overlapped synchronization does not
-    occupy the GPU (§5.2). GPUs with no tasks report 0.0.
+    occupy the GPU (§5.2). GPUs with no tasks report 0.0. Intervals
+    starting at or past the horizon are excluded; a straddling interval
+    contributes its part before the horizon.
     """
     if horizon is None:
         horizon = schedule.makespan()
@@ -155,8 +157,9 @@ def gpu_utilization(
         return out
     for gpu, intervals in gpu_busy_intervals(schedule).items():
         busy = sum(
-            max(0.0, min(e, horizon) - min(s, horizon))
+            min(e, horizon) - s
             for s, e in merge_intervals(intervals)
+            if s < horizon
         )
         out[gpu] = busy / horizon
     return out

@@ -22,7 +22,30 @@ import enum
 from dataclasses import dataclass, field
 
 from ..core.errors import ConfigurationError, SimulationError
+from ..obs import Category, current as obs_current
 from .scenario import FaultScenario, GpuCrash
+
+#: Trace track carrying detector state-change instants.
+DETECTOR_TRACK = "detector"
+
+
+def _emit_transitions(new: list["HealthTransition"]) -> None:
+    """Mirror fresh detector transitions into the ambient observability."""
+    if not new:
+        return
+    obs = obs_current()
+    if not obs.enabled:
+        return
+    for t in new:
+        obs.tracer.instant(
+            Category.FAULT,
+            f"gpu {t.gpu_id} {t.state.value}",
+            track=DETECTOR_TRACK,
+            time=t.time,
+            gpu=t.gpu_id,
+            state=t.state.value,
+        )
+        obs.metrics.counter(f"fault.detector.{t.state.value}").inc()
 
 
 class GpuHealth(enum.Enum):
@@ -120,6 +143,7 @@ class FailureDetector:
                     HealthTransition(suspect_at, gpu_id, GpuHealth.SUSPECT)
                 )
         self.transitions.extend(new)
+        _emit_transitions(new)
         return new
 
     def observe(self, gpu_id: int, now: float) -> list[HealthTransition]:
@@ -133,6 +157,7 @@ class FailureDetector:
             transition = HealthTransition(now, gpu_id, GpuHealth.ALIVE)
             self._state[gpu_id] = GpuHealth.ALIVE
             self.transitions.append(transition)
+            _emit_transitions([transition])
             return [transition]
         return []
 

@@ -2,6 +2,7 @@
 
 from .experiments import (
     ExperimentResult,
+    make_loaded_workload,
     make_problem,
     make_workload,
     quick_compare,
@@ -16,6 +17,7 @@ __all__ = [
     "Claim",
     "ExperimentResult",
     "GanttOptions",
+    "make_loaded_workload",
     "make_problem",
     "make_workload",
     "normalize_to",

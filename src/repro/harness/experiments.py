@@ -15,6 +15,7 @@ from ..core.job import Job, ProblemInstance
 from ..core.metrics import ScheduleMetrics, metrics_from_schedule
 from ..core.schedule import Schedule, validate_schedule
 from ..core.types import SwitchMode
+from ..obs import Category, current as obs_current
 from ..schedulers import Scheduler, default_schedulers
 from ..sim.simulator import SimResult, simulate_plan
 from ..workload.jobs import WorkloadConfig, generate_jobs
@@ -141,17 +142,30 @@ def run_comparison(
     instance = make_problem(cluster, jobs)
     schedulers = schedulers or default_schedulers()
     results: dict[str, ExperimentResult] = {}
+    obs = obs_current()
     for scheduler in schedulers:
-        plan = scheduler.schedule(instance)
+        with obs.tracer.timed(
+            Category.CTRL,
+            f"plan:{scheduler.name}",
+            track="harness",
+            hist=obs.metrics.histogram("harness.plan_s"),
+        ):
+            plan = scheduler.schedule(instance)
         if validate:
             validate_schedule(plan)
-        sim = (
-            simulate_plan(
-                cluster, instance, plan, switch_mode=switch_mode
+        with obs.tracer.timed(
+            Category.CTRL,
+            f"simulate:{scheduler.name}",
+            track="harness",
+            hist=obs.metrics.histogram("harness.simulate_s"),
+        ):
+            sim = (
+                simulate_plan(
+                    cluster, instance, plan, switch_mode=switch_mode
+                )
+                if simulate
+                else None
             )
-            if simulate
-            else None
-        )
         results[scheduler.name] = ExperimentResult(
             scheduler=scheduler.name,
             plan=plan,

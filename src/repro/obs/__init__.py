@@ -1,0 +1,79 @@
+"""repro.obs — the cross-cutting observability subsystem.
+
+One import point for the four pieces the rest of the package emits into:
+
+* :mod:`~repro.obs.trace` — structured event tracer (typed spans, instants
+  and flow arrows, categorized ``sched``/``sim``/``switch``/``sync``/
+  ``fault``/``ctrl``);
+* :mod:`~repro.obs.metrics` — counters, gauges and exact-quantile
+  histograms behind a :class:`MetricsRegistry`;
+* :mod:`~repro.obs.perfetto` — Chrome/Perfetto trace JSON export (one
+  track per GPU, one per job, flow arrows across round barriers);
+* :mod:`~repro.obs.manifest` — the ``run.json`` artifact every traced run
+  leaves behind.
+
+Instrumented code reads the ambient context (:func:`current`) and emits
+unconditionally; :func:`use` installs a live :class:`Obs` for a run's
+extent. Tracing is **off by default** — outside ``use`` the context is
+:data:`DISABLED` and every emission is a no-op.
+"""
+
+from .context import DISABLED, Obs, current, use
+from .manifest import SCHEMA, build_manifest, read_manifest, write_manifest
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .perfetto import (
+    chrome_trace,
+    trace_json,
+    validate_chrome_trace,
+    write_trace,
+)
+from .trace import (
+    NULL_TRACER,
+    Category,
+    FlowEvent,
+    InstantEvent,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    WallSpan,
+    gpu_track,
+    job_track,
+)
+
+__all__ = [
+    "Category",
+    "Counter",
+    "DISABLED",
+    "FlowEvent",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Obs",
+    "SCHEMA",
+    "SpanEvent",
+    "Tracer",
+    "WallSpan",
+    "build_manifest",
+    "chrome_trace",
+    "current",
+    "gpu_track",
+    "job_track",
+    "read_manifest",
+    "trace_json",
+    "use",
+    "validate_chrome_trace",
+    "write_manifest",
+    "write_trace",
+]

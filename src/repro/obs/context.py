@@ -1,0 +1,72 @@
+"""The ambient observability context: one tracer + one metrics registry.
+
+Observability is cross-cutting — the DES engine, schedulers, switching
+pipeline, failure detector and control plane all emit — so threading an
+object through every constructor would contaminate every signature in the
+package. Instead an :class:`Obs` bundle is installed for the dynamic extent
+of a run::
+
+    obs = Obs.start()
+    with use(obs):
+        result = simulate_plan(cluster, instance, plan)
+    obs.tracer.spans          # what the run emitted
+    obs.metrics.snapshot()    # what the run measured
+
+Code that emits calls :func:`current` and writes unconditionally; outside
+any ``use`` block :data:`DISABLED` is current, whose tracer and registry
+are no-ops, so the uninstrumented path costs one attribute lookup and an
+empty method call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+
+@dataclass(slots=True)
+class Obs:
+    """One run's observability surface: tracer + metrics registry."""
+
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or not isinstance(
+            self.metrics, type(NULL_REGISTRY)
+        )
+
+    @classmethod
+    def start(cls, *, trace: bool = True) -> "Obs":
+        """A live context: real registry, real tracer unless ``trace=False``."""
+        return cls(
+            tracer=Tracer() if trace else NullTracer(),
+            metrics=MetricsRegistry(),
+        )
+
+
+#: The permanently-disabled context (module-level default).
+DISABLED = Obs()
+
+_current: Obs = DISABLED
+
+
+def current() -> Obs:
+    """The ambient observability context (``DISABLED`` outside ``use``)."""
+    return _current
+
+
+@contextmanager
+def use(obs: Obs):
+    """Install *obs* as the ambient context for the block's extent."""
+    global _current
+    previous = _current
+    _current = obs
+    try:
+        yield obs
+    finally:
+        _current = previous

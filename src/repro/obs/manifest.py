@@ -1,0 +1,77 @@
+"""The run manifest: a machine-readable record of one experiment run.
+
+Every traced run can leave a ``run.json`` next to its trace so experiment
+artifacts are comparable across commits — the config and seed that produced
+the run, the headline results, and the full metrics snapshot (including the
+scheduler's own phase timings, seeding the perf trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Mapping
+
+from .metrics import MetricsRegistry
+
+#: Manifest schema identifier, bumped on breaking layout changes.
+SCHEMA = "repro.run-manifest/1"
+
+
+def _repro_version() -> str:
+    try:
+        from .. import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - import-order edge
+        return "unknown"
+
+
+def build_manifest(
+    *,
+    command: str,
+    config: Mapping,
+    seed: int | None = None,
+    results: Mapping | None = None,
+    metrics: MetricsRegistry | Mapping | None = None,
+    trace_path: str | None = None,
+) -> dict:
+    """Assemble the manifest object (JSON-serializable)."""
+    if isinstance(metrics, MetricsRegistry):
+        metrics = metrics.snapshot()
+    return {
+        "schema": SCHEMA,
+        "repro_version": _repro_version(),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+        },
+        "command": command,
+        "seed": seed,
+        "config": dict(config),
+        "results": dict(results or {}),
+        "metrics": dict(metrics or {}),
+        "trace": trace_path,
+    }
+
+
+def write_manifest(manifest: Mapping, path: str | Path) -> Path:
+    """Write *manifest* as indented, key-sorted JSON to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dict(manifest), sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Load a manifest back; raises ValueError on a schema mismatch."""
+    manifest = json.loads(Path(path).read_text())
+    if manifest.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path} is not a {SCHEMA} manifest "
+            f"(schema={manifest.get('schema')!r})"
+        )
+    return manifest

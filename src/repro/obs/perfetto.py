@@ -1,0 +1,280 @@
+"""Chrome/Perfetto trace JSON export.
+
+Converts one or more :class:`~repro.obs.trace.Tracer`\\ s into the Chrome
+trace-event JSON format that https://ui.perfetto.dev (and chrome://tracing)
+load directly:
+
+* each tracer becomes one **process** (``pid``) — a ``compare`` run exports
+  one process per scheduler so their timelines sit side by side;
+* each track becomes one **thread** (``tid``): GPU tracks first (numeric
+  order), then job tracks, then auxiliary tracks (``engine``, ``detector``,
+  ``ctrl``, ``scheduler``) — enforced via ``thread_sort_index`` metadata;
+* spans export as complete events (``ph: "X"``), instants as thread-scoped
+  instant events (``ph: "i"``), flows as ``ph: "s"`` / ``ph: "f"`` pairs
+  (rendered as arrows, e.g. round barrier → next-round task start).
+
+Output is **byte-stable**: events are sorted on fully deterministic keys,
+JSON keys are sorted, and wall-clock profiling spans are excluded unless
+``include_wall=True`` (they land on a separate ``pid`` so the sim-time
+timeline stays reproducible).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .trace import Tracer
+
+#: ``displayTimeUnit`` accepted by the viewers.
+_DISPLAY_UNIT = "ms"
+
+
+def _us(seconds: float) -> float:
+    """Sim seconds → trace microseconds (rounded for stable JSON)."""
+    return round(seconds * 1e6, 3)
+
+
+def _track_sort_key(track: str) -> tuple:
+    """GPU tracks first (numeric), then job tracks, then the rest."""
+    kind, _, rest = track.partition("/")
+    if kind == "gpu" and rest.isdigit():
+        return (0, int(rest), track)
+    if kind == "job" and rest.isdigit():
+        return (1, int(rest), track)
+    return (2, 0, track)
+
+
+def _track_label(track: str) -> str:
+    kind, _, rest = track.partition("/")
+    if kind == "gpu" and rest.isdigit():
+        return f"GPU {rest}"
+    if kind == "job" and rest.isdigit():
+        return f"Job {rest}"
+    return track
+
+
+def _clean_args(args: dict) -> dict:
+    return {k: v for k, v in args.items() if v is not None}
+
+
+def chrome_trace(
+    tracers: Tracer | Mapping[str, Tracer],
+    *,
+    include_wall: bool = False,
+) -> dict:
+    """Build the Chrome trace-event JSON object for one or more tracers."""
+    if isinstance(tracers, Tracer):
+        tracers = {"repro": tracers}
+
+    meta: list[dict] = []
+    timed: list[dict] = []
+    next_pid = 1
+
+    def add_process(name: str, tracks: list[str]) -> tuple[int, dict]:
+        nonlocal next_pid
+        pid = next_pid
+        next_pid += 1
+        meta.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        tids: dict[str, int] = {}
+        for index, track in enumerate(
+            sorted(tracks, key=_track_sort_key), start=1
+        ):
+            tids[track] = index
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": index,
+                    "args": {"name": _track_label(track)},
+                }
+            )
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": pid,
+                    "tid": index,
+                    "args": {"sort_index": index},
+                }
+            )
+        return pid, tids
+
+    for process_name, tracer in tracers.items():
+        pid, tids = add_process(process_name, tracer.tracks())
+        for span in tracer.spans:
+            timed.append(
+                {
+                    "ph": "X",
+                    "cat": span.category.value,
+                    "name": span.name,
+                    "pid": pid,
+                    "tid": tids[span.track],
+                    "ts": _us(span.start),
+                    "dur": _us(span.duration),
+                    "args": _clean_args(span.args),
+                }
+            )
+        for instant in tracer.instants:
+            timed.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "cat": instant.category.value,
+                    "name": instant.name,
+                    "pid": pid,
+                    "tid": tids[instant.track],
+                    "ts": _us(instant.time),
+                    "args": _clean_args(instant.args),
+                }
+            )
+        for flow in tracer.flows:
+            common = {
+                "cat": flow.category.value,
+                "name": flow.name,
+                "pid": pid,
+                "id": flow.flow_id,
+            }
+            timed.append(
+                {
+                    "ph": "s",
+                    "tid": tids[flow.src_track],
+                    "ts": _us(flow.src_time),
+                    **common,
+                }
+            )
+            timed.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "tid": tids[flow.dst_track],
+                    "ts": _us(flow.dst_time),
+                    **common,
+                }
+            )
+        if include_wall and tracer.wall_spans:
+            wall_tracks = sorted({w.track for w in tracer.wall_spans})
+            wall_pid, wall_tids = add_process(
+                f"{process_name} (wall clock)", wall_tracks
+            )
+            for wall in tracer.wall_spans:
+                timed.append(
+                    {
+                        "ph": "X",
+                        "cat": wall.category.value,
+                        "name": wall.name,
+                        "pid": wall_pid,
+                        "tid": wall_tids[wall.track],
+                        "ts": _us(wall.start),
+                        "dur": _us(wall.duration),
+                        "args": _clean_args(wall.args),
+                    }
+                )
+
+    meta.sort(key=lambda e: (e["pid"], e["tid"], e["name"]))
+    timed.sort(
+        key=lambda e: (
+            e["pid"],
+            e["tid"],
+            e["ts"],
+            e["ph"],
+            e["name"],
+            e.get("id", -1),
+        )
+    )
+    return {
+        "displayTimeUnit": _DISPLAY_UNIT,
+        "traceEvents": meta + timed,
+    }
+
+
+def trace_json(
+    tracers: Tracer | Mapping[str, Tracer], *, include_wall: bool = False
+) -> str:
+    """The byte-stable JSON string for :func:`chrome_trace`."""
+    return json.dumps(
+        chrome_trace(tracers, include_wall=include_wall),
+        sort_keys=True,
+        separators=(",", ":"),
+    ) + "\n"
+
+
+def write_trace(
+    tracers: Tracer | Mapping[str, Tracer],
+    path: str | Path,
+    *,
+    include_wall: bool = False,
+) -> Path:
+    """Write the Perfetto-loadable trace JSON to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_json(tracers, include_wall=include_wall))
+    return path
+
+
+_REQUIRED_BY_PH = {
+    "M": ("name", "pid", "tid", "args"),
+    "X": ("name", "cat", "pid", "tid", "ts", "dur"),
+    "i": ("name", "cat", "pid", "tid", "ts", "s"),
+    "s": ("name", "cat", "pid", "tid", "ts", "id"),
+    "f": ("name", "cat", "pid", "tid", "ts", "id", "bp"),
+}
+
+
+def validate_chrome_trace(trace: dict) -> int:
+    """Check *trace* against the trace-event schema; returns #events.
+
+    Raises :class:`ValueError` on: a missing/ill-typed ``traceEvents``
+    list, an unknown phase, a missing required field, a negative duration,
+    a flow start without a matching finish (or vice versa), or timestamps
+    that go backwards within one ``(pid, tid)`` track.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace has no traceEvents list")
+    last_ts: dict[tuple[int, int], float] = {}
+    flow_starts: set[tuple[int, int]] = set()
+    flow_finishes: set[tuple[int, int]] = set()
+    for pos, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{pos} is not an object")
+        ph = event.get("ph")
+        if ph not in _REQUIRED_BY_PH:
+            raise ValueError(f"event #{pos} has unknown phase {ph!r}")
+        for key in _REQUIRED_BY_PH[ph]:
+            if key not in event:
+                raise ValueError(f"{ph}-event #{pos} missing field {key!r}")
+        if ph == "M":
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event #{pos} has bad ts {ts!r}")
+        if ph == "X" and event["dur"] < 0:
+            raise ValueError(f"event #{pos} has negative dur")
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, 0.0):
+            raise ValueError(
+                f"event #{pos} goes back in time on pid/tid {track}: "
+                f"{ts} < {last_ts[track]}"
+            )
+        last_ts[track] = ts
+        if ph == "s":
+            flow_starts.add((event["pid"], event["id"]))
+        elif ph == "f":
+            flow_finishes.add((event["pid"], event["id"]))
+    if flow_starts != flow_finishes:
+        raise ValueError(
+            f"unbalanced flows: {len(flow_starts)} starts vs "
+            f"{len(flow_finishes)} finishes"
+        )
+    return len(events)

@@ -1,0 +1,261 @@
+"""Structured event tracer: typed spans, instants and flow arrows.
+
+Every subsystem emits into one :class:`Tracer` through a small vocabulary:
+
+* **spans** — an activity with sim-time extent on a named track (a task's
+  compute on ``gpu/3``, a round's gradient sync on ``job/7``);
+* **instants** — a point event (a round barrier opening, a failure-detector
+  transition, a control-plane ack);
+* **flows** — causal arrows between two points on (possibly different)
+  tracks (a round barrier releasing the next round's first task);
+* **wall spans** — wall-clock timings of the scheduler's *own* phases
+  (relaxation solve, list scheduling), kept in a separate domain so the
+  sim-time trace stays byte-reproducible across runs.
+
+Events carry a :class:`Category` so viewers and tests can filter by
+subsystem. The :class:`NullTracer` is the disabled path: recording methods
+are no-ops, so hot loops emit unconditionally.
+
+Export to Chrome/Perfetto JSON lives in :mod:`repro.obs.perfetto`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .metrics import Histogram
+
+
+class Category(str, enum.Enum):
+    """Event taxonomy: which subsystem emitted the event."""
+
+    SCHED = "sched"    #: scheduling algorithm (plans, phases, objectives)
+    SIM = "sim"        #: discrete-event simulator (task compute, engine)
+    SWITCH = "switch"  #: task-switch overhead (the §4 pipeline)
+    SYNC = "sync"      #: gradient synchronization and round barriers
+    FAULT = "fault"    #: failures, detection, recovery
+    CTRL = "ctrl"      #: control plane (submissions, shipping, acks)
+
+
+#: Conventional track names (``tid`` rows in the exported trace).
+def gpu_track(gpu_id: int) -> str:
+    return f"gpu/{gpu_id}"
+
+
+def job_track(job_id: int) -> str:
+    return f"job/{job_id}"
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """An activity with extent ``[start, start + duration]`` in sim time."""
+
+    category: Category
+    name: str
+    track: str
+    start: float
+    duration: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True, slots=True)
+class InstantEvent:
+    """A point event on a track."""
+
+    category: Category
+    name: str
+    track: str
+    time: float
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEvent:
+    """A causal arrow from one (track, time) to another."""
+
+    flow_id: int
+    category: Category
+    name: str
+    src_track: str
+    src_time: float
+    dst_track: str
+    dst_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class WallSpan:
+    """A wall-clock timing of the tooling itself (profiling hook)."""
+
+    category: Category
+    name: str
+    track: str
+    start: float
+    duration: float
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class Tracer:
+    """Collects structured events for one run."""
+
+    enabled: bool = True
+    spans: list[SpanEvent] = field(default_factory=list)
+    instants: list[InstantEvent] = field(default_factory=list)
+    flows: list[FlowEvent] = field(default_factory=list)
+    wall_spans: list[WallSpan] = field(default_factory=list)
+    #: epoch for the wall-clock domain (set on first wall span)
+    _wall_epoch: float | None = None
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        category: Category,
+        name: str,
+        *,
+        track: str,
+        start: float,
+        end: float,
+        **args,
+    ) -> None:
+        self.spans.append(
+            SpanEvent(
+                category=category,
+                name=name,
+                track=track,
+                start=start,
+                duration=max(0.0, end - start),
+                args=args,
+            )
+        )
+
+    def instant(
+        self,
+        category: Category,
+        name: str,
+        *,
+        track: str,
+        time: float,
+        **args,
+    ) -> None:
+        self.instants.append(
+            InstantEvent(
+                category=category, name=name, track=track, time=time, args=args
+            )
+        )
+
+    def flow(
+        self,
+        flow_id: int,
+        category: Category,
+        name: str,
+        *,
+        src_track: str,
+        src_time: float,
+        dst_track: str,
+        dst_time: float,
+    ) -> None:
+        self.flows.append(
+            FlowEvent(
+                flow_id=flow_id,
+                category=category,
+                name=name,
+                src_track=src_track,
+                src_time=src_time,
+                dst_track=dst_track,
+                dst_time=dst_time,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timed(
+        self,
+        category: Category,
+        name: str,
+        *,
+        track: str = "scheduler",
+        hist: Histogram | None = None,
+        **args,
+    ):
+        """Wall-clock a code block into the wall domain (profiling hook).
+
+        The duration is additionally observed into *hist* when given, so
+        phase timings show up in the metrics snapshot even when the trace
+        itself is discarded.
+        """
+        t0 = _time.perf_counter()
+        if self._wall_epoch is None:
+            self._wall_epoch = t0
+        try:
+            yield
+        finally:
+            duration = _time.perf_counter() - t0
+            self.wall_spans.append(
+                WallSpan(
+                    category=category,
+                    name=name,
+                    track=track,
+                    start=t0 - self._wall_epoch,
+                    duration=duration,
+                    args=args,
+                )
+            )
+            if hist is not None:
+                hist.observe(duration)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return (
+            len(self.spans)
+            + len(self.instants)
+            + len(self.flows)
+            + len(self.wall_spans)
+        )
+
+    def tracks(self) -> list[str]:
+        """Every track name referenced by a sim-domain event, sorted."""
+        names = {s.track for s in self.spans}
+        names.update(i.track for i in self.instants)
+        for f in self.flows:
+            names.add(f.src_track)
+            names.add(f.dst_track)
+        return sorted(names)
+
+
+class NullTracer(Tracer):
+    """Recording disabled: every emission is a cheap no-op."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def span(self, *a, **kw) -> None:
+        pass
+
+    def instant(self, *a, **kw) -> None:
+        pass
+
+    def flow(self, *a, **kw) -> None:
+        pass
+
+    @contextmanager
+    def timed(self, category, name, *, track="scheduler", hist=None, **args):
+        if hist is None:
+            yield
+            return
+        t0 = _time.perf_counter()
+        try:
+            yield
+        finally:
+            # Phase timings still reach the metrics registry when asked to.
+            hist.observe(_time.perf_counter() - t0)
+
+
+NULL_TRACER = NullTracer()

@@ -19,6 +19,16 @@ from .hare import (
 from .homo import SchedHomoScheduler
 from .online import OnlineHareScheduler, build_residual_instance
 from .optimal import brute_force_optimal
+from .registry import (
+    SchemeInfo,
+    UnknownSchedulerError,
+    available,
+    create,
+    create_from_spec,
+    info,
+    register,
+    schemes,
+)
 from .relaxation import (
     ExactRelaxationSolver,
     FluidRelaxationSolver,
@@ -51,16 +61,22 @@ def all_schedulers() -> list[Scheduler]:
 
 
 def scheduler_by_name(name: str) -> Scheduler:
-    """Look up a scheme by its legend name (case-insensitive).
+    """Deprecated: use :func:`repro.schedulers.create` instead.
 
-    Covers the paper's five plus the extensions (``Hare_Online``,
-    ``Gavel_TS``).
+    Legend names (``Hare``, ``Gavel_FIFO``, …) lowercase to the registry
+    keys, so this is a thin shim over :func:`create`. Still raises
+    :class:`KeyError` (via :class:`UnknownSchedulerError`) for unknown
+    names, as before.
     """
-    for sched in all_schedulers():
-        if sched.name.lower() == name.lower():
-            return sched
-    known = [s.name for s in all_schedulers()]
-    raise KeyError(f"unknown scheduler {name!r}; known: {known}")
+    import warnings
+
+    warnings.warn(
+        "scheduler_by_name() is deprecated; use "
+        "repro.schedulers.create(name, **kwargs) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create(name)
 
 
 __all__ = [
@@ -76,18 +92,26 @@ __all__ = [
     "SchedAlloxScheduler",
     "SchedHomoScheduler",
     "Scheduler",
+    "SchemeInfo",
     "SrtfScheduler",
     "TimeSliceScheduler",
+    "UnknownSchedulerError",
     "all_schedulers",
+    "available",
     "brute_force_optimal",
     "build_residual_instance",
     "check_gang_feasible",
+    "create",
+    "create_from_spec",
     "default_schedulers",
     "fastest_free_gpus",
     "gang_run_job",
     "greedy_assignment",
+    "info",
     "list_schedule",
+    "register",
     "run_gang_scheduler",
     "scheduler_by_name",
+    "schemes",
     "strict_gang_schedule",
 ]

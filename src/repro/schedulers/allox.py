@@ -25,8 +25,10 @@ from ..core.job import ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
 from .base import Scheduler
+from .registry import register
 
 
+@register("sched_allox", summary="AlloX min-cost matching to single GPUs")
 class SchedAlloxScheduler(Scheduler):
     """AlloX: online min-cost matching of jobs to single GPUs."""
 

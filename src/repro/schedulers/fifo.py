@@ -17,8 +17,10 @@ from .base import (
     fastest_free_gpus,
     run_gang_scheduler,
 )
+from .registry import register
 
 
+@register("gavel_fifo", summary="FIFO gang scheduling, no backfill")
 class GavelFifoScheduler(Scheduler):
     """Heterogeneity-aware FIFO with gang scheduling and no backfill."""
 

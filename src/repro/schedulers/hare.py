@@ -41,7 +41,9 @@ from ..core.errors import SolverError
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
+from ..obs import Category, current as obs_current
 from .base import Scheduler
+from .registry import register
 from .relaxation import (
     ExactRelaxationSolver,
     FluidRelaxationSolver,
@@ -56,6 +58,7 @@ Placement = Literal["earliest_available", "earliest_finish"]
 AUTO_LP_TASK_LIMIT = 600
 
 
+@register("hare", summary="Algorithm 1: relaxation-ordered list scheduling")
 @dataclass(slots=True)
 class HareScheduler(Scheduler):
     """Algorithm 1: relaxation-ordered list scheduling.
@@ -93,10 +96,33 @@ class HareScheduler(Scheduler):
 
     # ------------------------------------------------------------------
     def schedule(self, instance: ProblemInstance) -> Schedule:
-        relaxation = self._solver(instance).solve(instance)
+        obs = obs_current()
+        tracer, metrics = obs.tracer, obs.metrics
+        solver = self._solver(instance)
+        with tracer.timed(
+            Category.SCHED,
+            "relaxation_solve",
+            solver=type(solver).__name__,
+            tasks=instance.num_tasks,
+            hist=metrics.histogram("sched.phase.relaxation_solve_s"),
+        ):
+            relaxation = solver.solve(instance)
         self.last_relaxation = relaxation
-        order = _precedence_safe_order(instance, relaxation)
-        return list_schedule(instance, order, placement=self.placement)
+        with tracer.timed(
+            Category.SCHED,
+            "order",
+            hist=metrics.histogram("sched.phase.order_s"),
+        ):
+            order = _precedence_safe_order(instance, relaxation)
+        with tracer.timed(
+            Category.SCHED,
+            "list_schedule",
+            placement=self.placement,
+            hist=metrics.histogram("sched.phase.list_schedule_s"),
+        ):
+            return list_schedule(
+                instance, order, placement=self.placement
+            )
 
 
 def _precedence_safe_order(

@@ -24,8 +24,10 @@ import numpy as np
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule
 from .base import GangState, ObliviousPicker, Scheduler, run_gang_scheduler
+from .registry import register
 
 
+@register("sched_homo", summary="Weighted-SPT gang, heterogeneity-oblivious")
 class SchedHomoScheduler(Scheduler):
     """Weighted-SPT gang scheduler with heterogeneity-oblivious GPU picks."""
 

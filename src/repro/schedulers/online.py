@@ -102,6 +102,7 @@ from .hare import (
     _precedence_safe_order,
     list_schedule,
 )
+from .registry import register
 from .relaxation import (
     ExactRelaxationSolver,
     FluidRelaxationSolver,
@@ -109,6 +110,7 @@ from .relaxation import (
 )
 
 
+@register("hare_online", summary="Event-driven re-planning Hare (online)")
 @dataclass(slots=True)
 class OnlineHareScheduler(Scheduler):
     """Event-driven re-planning Hare without future-arrival knowledge."""

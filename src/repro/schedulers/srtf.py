@@ -22,8 +22,10 @@ import numpy as np
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule
 from .base import GangState, ObliviousPicker, Scheduler, run_gang_scheduler
+from .registry import register
 
 
+@register("srtf", summary="Shortest-remaining-time-first gang execution")
 class SrtfScheduler(Scheduler):
     """Non-preemptive shortest-remaining-time-first with gang execution."""
 

@@ -27,8 +27,10 @@ from ..core.job import ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
 from .base import Scheduler, check_gang_feasible
+from .registry import register
 
 
+@register("gavel_ts", summary="Quantum-based weighted round-robin gangs")
 @dataclass(slots=True)
 class TimeSliceScheduler(Scheduler):
     """Quantum-based weighted round-robin gang scheduler."""

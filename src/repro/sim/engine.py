@@ -12,9 +12,14 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.errors import SimulationError
+from ..obs import Category
+from ..obs import current as obs_current
 from .events import Event, EventQueue, EventType
 
 Handler = Callable[[Event], None]
+
+#: Track name engine-level events appear under in exported traces.
+ENGINE_TRACK = "engine"
 
 
 @dataclass(slots=True)
@@ -57,7 +62,14 @@ class Engine:
         ``until`` stops the run at a horizon: events strictly after it stay
         queued (a later ``run`` call can resume). The chaos pipeline uses
         this to freeze a simulation at the failure-detection time.
+
+        When an observability context is active, every dispatched event
+        lands as a ``sim`` instant on the ``engine`` track and the total
+        event volume increments the ``sim.engine_events`` counter.
         """
+        obs = obs_current()
+        tracer = obs.tracer
+        before = self.processed
         while self.queue:
             if until is not None and self.queue.peek().time > until:
                 break
@@ -72,5 +84,13 @@ class Engine:
                 raise SimulationError(
                     f"no handler registered for {event.type.name}"
                 )
+            if tracer.enabled:
+                tracer.instant(
+                    Category.SIM,
+                    event.type.name,
+                    track=ENGINE_TRACK,
+                    time=event.time,
+                )
             handler(event)
+        obs.metrics.counter("sim.engine_events").inc(self.processed - before)
         return self.processed

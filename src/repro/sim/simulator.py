@@ -22,6 +22,8 @@ from ..core.job import ProblemInstance
 from ..core.metrics import ScheduleMetrics, metrics_from_completions
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import SwitchMode
+from ..obs import Category, gpu_track, job_track
+from ..obs import current as obs_current
 from ..switching.costmodel import SwitchCostModel
 from .engine import Engine
 from .events import Event, EventType
@@ -174,6 +176,12 @@ class ClusterSimulator:
         pool = ParameterServerPool(instance)
         telemetry = Telemetry(num_gpus=instance.num_gpus)
         realized = Schedule(instance)
+        tracer = obs_current().tracer
+
+        def flow_id(task) -> int:
+            # Deterministic id per (job, round, slot): one arrow from the
+            # previous round's barrier to each task it released.
+            return (task.job_id * 10_000 + task.round_idx) * 10_000 + task.slot
 
         sequences = plan.gpu_sequences()
         if self.jitter_sigma > 0:
@@ -215,6 +223,18 @@ class ClusterSimulator:
                     retained_hit=started.retained_hit,
                 )
             in_flight[executor.gpu_id] = started
+            task = started.assignment.task
+            if tracer.enabled and task.round_idx > 0:
+                # Arrow: previous round's barrier released this task.
+                tracer.flow(
+                    flow_id(task),
+                    Category.SYNC,
+                    f"j{task.job_id} barrier",
+                    src_track=job_track(task.job_id),
+                    src_time=pool.barrier_time(task.job_id, task.round_idx - 1),
+                    dst_track=gpu_track(executor.gpu_id),
+                    dst_time=started.start,
+                )
             engine.at(
                 started.compute_end,
                 EventType.TASK_COMPUTE_DONE,
@@ -239,6 +259,29 @@ class ClusterSimulator:
                 return  # stale completion of a crashed attempt
             started = in_flight.pop(executor.gpu_id)
             task = started.assignment.task
+            if tracer.enabled:
+                track = gpu_track(executor.gpu_id)
+                if started.switch_time > 0:
+                    tracer.span(
+                        Category.SWITCH,
+                        f"switch→j{task.job_id}",
+                        track=track,
+                        start=started.start - started.switch_time,
+                        end=started.start,
+                        job=task.job_id,
+                        retained_hit=started.retained_hit,
+                    )
+                tracer.span(
+                    Category.SIM,
+                    f"j{task.job_id} r{task.round_idx}",
+                    track=track,
+                    start=started.start,
+                    end=event.time,
+                    job=task.job_id,
+                    round=task.round_idx,
+                    slot=task.slot,
+                    planned_start=planned_start[task],
+                )
             telemetry.record_task(
                 TaskRecord(
                     task=task,
@@ -266,6 +309,16 @@ class ClusterSimulator:
             if self.nic_contention and sync_time > 0:
                 syncs_in_flight[node_id] += 1
                 sync_time *= syncs_in_flight[node_id]
+            if tracer.enabled and sync_time > 0:
+                tracer.span(
+                    Category.SYNC,
+                    f"sync j{task.job_id} r{task.round_idx}",
+                    track=job_track(task.job_id),
+                    start=event.time,
+                    end=event.time + sync_time,
+                    gpu=executor.gpu_id,
+                    slot=task.slot,
+                )
             engine.at(
                 event.time + sync_time,
                 EventType.TASK_SYNC_DONE,
@@ -279,12 +332,28 @@ class ClusterSimulator:
             if self.nic_contention and counted:
                 syncs_in_flight[node_id] -= 1
             if pool.record_sync(task, event.time):
+                if tracer.enabled:
+                    tracer.instant(
+                        Category.SYNC,
+                        f"barrier j{task.job_id} r{task.round_idx}",
+                        track=job_track(task.job_id),
+                        time=event.time,
+                        round=task.round_idx,
+                    )
                 # The barrier opened: next-round tasks may be heads.
                 for executor in executors:
                     try_start(executor, event.time)
 
         def on_gpu_failure(event: Event) -> None:
             executor = by_gpu[event.payload]
+            if tracer.enabled:
+                tracer.instant(
+                    Category.FAULT,
+                    "gpu failure",
+                    track=gpu_track(executor.gpu_id),
+                    time=event.time,
+                    restart_delay_s=self.restart_delay_s,
+                )
             if executor.running is not None:
                 started = in_flight.pop(executor.gpu_id)
                 wasted = max(0.0, event.time - started.start)
@@ -304,6 +373,14 @@ class ClusterSimulator:
         def on_gpu_crash(event: Event) -> None:
             # Permanent: abandon in-flight and queued work, never restart.
             executor = by_gpu[event.payload]
+            if tracer.enabled:
+                tracer.instant(
+                    Category.FAULT,
+                    "gpu crash (permanent)",
+                    track=gpu_track(executor.gpu_id),
+                    time=event.time,
+                    abandoned_tasks=len(executor.queue),
+                )
             if executor.running is not None:
                 started = in_flight.pop(executor.gpu_id)
                 wasted = max(0.0, event.time - started.start)

@@ -1,13 +1,51 @@
-"""Simulation telemetry: per-GPU busy/switch intervals and task records."""
+"""Simulation telemetry: per-GPU busy/switch intervals and task records.
+
+Since the observability redesign, :class:`Telemetry` is a **read view** over
+a :class:`~repro.obs.metrics.MetricsRegistry`: the ``record_*`` methods
+route every scalar mutation through named instruments (``sim.*`` counters
+and histograms), and the legacy attributes (``switch_count``,
+``retention_hits``, ``total_switch_time``, ...) are properties reading the
+registry back. The aggregate durations that used to be methods are
+properties like :attr:`makespan`; the old callable form still works for one
+release via a deprecation shim.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.schedule import merge_intervals
 from ..core.types import TaskRef
+from ..obs.metrics import MetricsRegistry
+
+
+class _CallableMetric(float):
+    """A float that tolerates the pre-redesign ``telemetry.metric()`` form.
+
+    ``Telemetry.total_switch_time`` et al. used to be methods; they are
+    properties now. The property returns this float subclass so legacy
+    call sites keep working (with a :class:`DeprecationWarning`) while new
+    code reads the value directly.
+    """
+
+    __slots__ = ("_alias",)
+
+    def __new__(cls, value: float, alias: str):
+        self = super().__new__(cls, value)
+        self._alias = alias
+        return self
+
+    def __call__(self) -> float:
+        warnings.warn(
+            f"Telemetry.{self._alias}() is deprecated; "
+            f"read the {self._alias!r} property instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return float(self)
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,34 +80,59 @@ class Telemetry:
     busy: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
     #: per-GPU (start, end) switch-overhead intervals
     switching: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
-    retention_hits: int = 0
-    switch_count: int = 0
-    aborted_attempts: int = 0
-    wasted_compute_s: float = 0.0
     #: permanent GPU crashes observed: (gpu_id, time)
     crashes: list[tuple[int, float]] = field(default_factory=list)
+    #: every scalar mutation goes through here; the properties read it back
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def record_task(self, record: TaskRecord) -> None:
         self.records.append(record)
         self.busy.setdefault(record.gpu, []).append(
             (record.start, record.compute_end)
         )
+        self.metrics.counter("sim.tasks").inc()
+        self.metrics.histogram("sim.train_time_s").observe(record.train_time)
+        if record.sync_time > 0:
+            self.metrics.histogram("sim.sync_time_s").observe(record.sync_time)
         if record.switch_time > 0:
             self.switching.setdefault(record.gpu, []).append(
                 (record.start - record.switch_time, record.start)
             )
-            self.switch_count += 1
+            self.metrics.counter("sim.switch_count").inc()
+            self.metrics.histogram("sim.switch_time_s").observe(
+                record.switch_time
+            )
         if record.retained_hit:
-            self.retention_hits += 1
+            self.metrics.counter("sim.retention_hits").inc()
 
     def record_abort(self, wasted_compute_s: float) -> None:
         """A GPU failure destroyed an in-flight attempt."""
-        self.aborted_attempts += 1
-        self.wasted_compute_s += wasted_compute_s
+        self.metrics.counter("sim.aborted_attempts").inc()
+        self.metrics.counter("sim.wasted_compute_s").inc(wasted_compute_s)
 
     def record_crash(self, gpu_id: int, time: float) -> None:
         """A GPU failed permanently at *time*."""
         self.crashes.append((gpu_id, time))
+        self.metrics.counter("sim.crashes").inc()
+
+    # ------------------------------------------------------------------
+    # Registry-backed read view of the legacy scalar attributes.
+    # ------------------------------------------------------------------
+    @property
+    def retention_hits(self) -> int:
+        return int(self.metrics.counter("sim.retention_hits").value)
+
+    @property
+    def switch_count(self) -> int:
+        return int(self.metrics.counter("sim.switch_count").value)
+
+    @property
+    def aborted_attempts(self) -> int:
+        return int(self.metrics.counter("sim.aborted_attempts").value)
+
+    @property
+    def wasted_compute_s(self) -> float:
+        return self.metrics.counter("sim.wasted_compute_s").value
 
     # ------------------------------------------------------------------
     @property
@@ -78,19 +141,32 @@ class Telemetry:
             return 0.0
         return max(r.sync_end for r in self.records)
 
-    def total_switch_time(self) -> float:
-        return float(sum(r.switch_time for r in self.records))
+    @property
+    def total_switch_time(self) -> _CallableMetric:
+        return _CallableMetric(
+            self.metrics.histogram("sim.switch_time_s").total,
+            "total_switch_time",
+        )
 
-    def total_train_time(self) -> float:
-        return float(sum(r.train_time for r in self.records))
+    @property
+    def total_train_time(self) -> _CallableMetric:
+        return _CallableMetric(
+            self.metrics.histogram("sim.train_time_s").total,
+            "total_train_time",
+        )
 
     def switch_overhead_fraction(self) -> float:
         """Switch time as a fraction of train time (the Table 3 percent)."""
-        train = self.total_train_time()
-        return self.total_switch_time() / train if train > 0 else 0.0
+        train = float(self.total_train_time)
+        return float(self.total_switch_time) / train if train > 0 else 0.0
 
     def gpu_utilization(self, *, horizon: float | None = None) -> dict[int, float]:
-        """Compute-busy fraction per GPU over [0, horizon]."""
+        """Compute-busy fraction per GPU over [0, horizon].
+
+        Intervals that start at or past the horizon are excluded; an
+        interval straddling it contributes only its part before the
+        horizon.
+        """
         horizon = horizon if horizon is not None else self.makespan
         out = {m: 0.0 for m in range(self.num_gpus)}
         if horizon <= 0:
@@ -98,13 +174,15 @@ class Telemetry:
         for gpu, intervals in self.busy.items():
             merged = merge_intervals(intervals)
             out[gpu] = sum(
-                max(0.0, min(e, horizon) - min(s, horizon)) for s, e in merged
+                min(e, horizon) - s for s, e in merged if s < horizon
             ) / horizon
         return out
 
-    def mean_utilization(self) -> float:
+    @property
+    def mean_utilization(self) -> _CallableMetric:
         utils = self.gpu_utilization()
-        return float(np.mean(list(utils.values()))) if utils else 0.0
+        value = float(np.mean(list(utils.values()))) if utils else 0.0
+        return _CallableMetric(value, "mean_utilization")
 
     def plan_deviation(self) -> float:
         """Max relative start-time slip vs the plan (sim-accuracy metric).

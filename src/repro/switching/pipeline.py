@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.errors import ConfigurationError
+from ..obs import current as obs_current
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,12 +114,20 @@ def pipelined_transfer(
         startup_s *= 0.5
         first_group_s *= 0.25
         residual_s *= 0.5
-    return TransferBreakdown(
+    breakdown = TransferBreakdown(
         startup_s=startup_s,
         first_group_s=first_group_s,
         sync_s=sync_s,
         residual_s=residual_s,
     )
+    metrics = obs_current().metrics
+    metrics.counter("switch.pipelined_transfers").inc()
+    if early_cleaning:
+        metrics.counter("switch.early_cleaning_transfers").inc()
+    metrics.histogram("switch.pipelined_transfer_s").observe(
+        breakdown.total_s
+    )
+    return breakdown
 
 
 def sequential_transfer(
@@ -135,4 +144,11 @@ def sequential_transfer(
     layers = np.asarray(layer_bytes, dtype=float)
     if pcie_bandwidth <= 0:
         raise ConfigurationError("pcie_bandwidth must be > 0")
-    return float(layers.sum()) / pcie_bandwidth + len(layers) * per_layer_launch_s
+    total = (
+        float(layers.sum()) / pcie_bandwidth
+        + len(layers) * per_layer_launch_s
+    )
+    metrics = obs_current().metrics
+    metrics.counter("switch.sequential_transfers").inc()
+    metrics.histogram("switch.sequential_transfer_s").observe(total)
+    return total

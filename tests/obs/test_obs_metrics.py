@@ -1,0 +1,96 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(1.0)
+        g.set(-7.0)
+        assert g.value == -7.0
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+        assert h.min == 1.0 and h.max == 3.0
+
+    @pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0])
+    def test_quantiles_match_numpy(self, q):
+        rng = np.random.default_rng(42)
+        samples = rng.exponential(size=101)
+        h = MetricsRegistry().histogram("h")
+        for v in samples:
+            h.observe(float(v))
+        assert h.quantile(q) == pytest.approx(float(np.quantile(samples, q)))
+
+    def test_quantile_empty_is_zero(self):
+        assert MetricsRegistry().histogram("h").quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h").quantile(1.5)
+
+    def test_snapshot_has_percentiles(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert {"count", "total", "mean", "min", "max", "p50", "p95",
+                "p99"} <= set(snap)
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("m")
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == ["a", "b"]
+
+    def test_contains_and_len(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        assert "g" in reg and "x" not in reg
+        assert len(reg) == 1
+
+
+class TestNullRegistry:
+    def test_drops_writes(self):
+        NULL_REGISTRY.counter("c").inc(5)
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(5)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.counter("c").value == 0.0

@@ -1,0 +1,187 @@
+"""Tests for Chrome/Perfetto export, trace validation, and the manifest."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Category,
+    MetricsRegistry,
+    Tracer,
+    build_manifest,
+    chrome_trace,
+    gpu_track,
+    job_track,
+    read_manifest,
+    trace_json,
+    validate_chrome_trace,
+    write_manifest,
+    write_trace,
+)
+
+
+def sample_tracer() -> Tracer:
+    tr = Tracer()
+    tr.span(Category.SIM, "compute", track=gpu_track(0), start=0.0, end=1.0)
+    tr.span(Category.SIM, "compute", track=gpu_track(10), start=0.5, end=2.0)
+    tr.span(Category.SYNC, "sync", track=job_track(3), start=1.0, end=1.5)
+    tr.instant(Category.SYNC, "barrier", track=job_track(3), time=1.5)
+    tr.flow(42, Category.SYNC, "round", src_track=job_track(3), src_time=1.5,
+            dst_track=gpu_track(0), dst_time=1.5)
+    with tr.timed(Category.SCHED, "solve"):
+        pass
+    return tr
+
+
+def events_by_phase(trace: dict, ph: str) -> list[dict]:
+    return [e for e in trace["traceEvents"] if e["ph"] == ph]
+
+
+class TestChromeTrace:
+    def test_track_metadata_and_ordering(self):
+        trace = chrome_trace(sample_tracer())
+        names = [
+            e["args"]["name"]
+            for e in events_by_phase(trace, "M")
+            if e["name"] == "thread_name"
+        ]
+        # GPU tracks first in numeric (not lexicographic) order, then jobs.
+        assert names == ["GPU 0", "GPU 10", "Job 3"]
+        (process,) = [
+            e for e in events_by_phase(trace, "M")
+            if e["name"] == "process_name"
+        ]
+        assert process["args"]["name"] == "repro"
+
+    def test_span_units_are_microseconds(self):
+        trace = chrome_trace(sample_tracer())
+        spans = events_by_phase(trace, "X")
+        first = next(s for s in spans if s["tid"] == 1)
+        assert first["ts"] == 0.0
+        assert first["dur"] == 1_000_000.0
+
+    def test_flow_pair_shares_pid_and_id(self):
+        trace = chrome_trace(sample_tracer())
+        (start,) = events_by_phase(trace, "s")
+        (finish,) = events_by_phase(trace, "f")
+        assert start["id"] == finish["id"] == 42
+        assert start["pid"] == finish["pid"]
+        assert finish["bp"] == "e"
+
+    def test_instants_are_thread_scoped(self):
+        trace = chrome_trace(sample_tracer())
+        (instant,) = events_by_phase(trace, "i")
+        assert instant["s"] == "t"
+        assert instant["name"] == "barrier"
+
+    def test_wall_spans_excluded_by_default(self):
+        tr = sample_tracer()
+        assert len(tr.wall_spans) == 1
+        trace = chrome_trace(tr)
+        assert all(e["name"] != "solve" for e in trace["traceEvents"])
+
+    def test_include_wall_adds_separate_process(self):
+        trace = chrome_trace(sample_tracer(), include_wall=True)
+        processes = {
+            e["args"]["name"]
+            for e in events_by_phase(trace, "M")
+            if e["name"] == "process_name"
+        }
+        assert processes == {"repro", "repro (wall clock)"}
+        assert any(e["name"] == "solve" for e in events_by_phase(trace, "X"))
+
+    def test_multiple_tracers_get_distinct_pids(self):
+        trace = chrome_trace({"a": sample_tracer(), "b": sample_tracer()})
+        pids = {
+            e["pid"]
+            for e in events_by_phase(trace, "M")
+            if e["name"] == "process_name"
+        }
+        assert pids == {1, 2}
+
+    def test_validates_clean(self):
+        assert validate_chrome_trace(chrome_trace(sample_tracer())) > 0
+
+
+class TestByteStability:
+    def test_identical_tracers_produce_identical_bytes(self):
+        assert trace_json(sample_tracer()) == trace_json(sample_tracer())
+
+    def test_json_is_compact_sorted_and_newline_terminated(self):
+        text = trace_json(sample_tracer())
+        assert text.endswith("\n")
+        assert ": " not in text.split('"compute"')[0]
+        round_tripped = json.loads(text)
+        assert round_tripped["displayTimeUnit"] == "ms"
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = write_trace(sample_tracer(), tmp_path / "out" / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) > 0
+
+
+class TestValidation:
+    def test_rejects_missing_events(self):
+        with pytest.raises(ValueError, match="no traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="no traceEvents"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+
+    def test_rejects_missing_field(self):
+        bad = {"ph": "X", "name": "x", "cat": "sim", "pid": 1, "tid": 1,
+               "ts": 0.0}  # no dur
+        with pytest.raises(ValueError, match="missing field 'dur'"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_negative_duration(self):
+        bad = {"ph": "X", "name": "x", "cat": "sim", "pid": 1, "tid": 1,
+               "ts": 0.0, "dur": -1.0}
+        with pytest.raises(ValueError, match="negative dur"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_rejects_time_travel_within_track(self):
+        def span(ts):
+            return {"ph": "X", "name": "x", "cat": "sim", "pid": 1,
+                    "tid": 1, "ts": ts, "dur": 0.0}
+
+        with pytest.raises(ValueError, match="goes back in time"):
+            validate_chrome_trace({"traceEvents": [span(5.0), span(1.0)]})
+
+    def test_rejects_unbalanced_flows(self):
+        start = {"ph": "s", "name": "r", "cat": "sync", "pid": 1, "tid": 1,
+                 "ts": 0.0, "id": 9}
+        with pytest.raises(ValueError, match="unbalanced flows"):
+            validate_chrome_trace({"traceEvents": [start]})
+
+
+class TestManifest:
+    def test_build_and_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        manifest = build_manifest(
+            command="compare",
+            config={"gpus": 15, "jobs": 8},
+            seed=0,
+            results={"makespan": 12.5},
+            metrics=reg,
+            trace_path="trace.json",
+        )
+        assert manifest["schema"] == "repro.run-manifest/1"
+        assert manifest["metrics"] == {
+            "runs": {"type": "counter", "value": 1.0}
+        }
+        path = write_manifest(manifest, tmp_path / "run.json")
+        loaded = read_manifest(path)
+        assert loaded["config"] == {"gpus": 15, "jobs": 8}
+        assert loaded["results"]["makespan"] == 12.5
+        assert loaded["trace"] == "trace.json"
+
+    def test_read_rejects_schema_mismatch(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something-else/9"}))
+        with pytest.raises(ValueError, match="not a repro.run-manifest/1"):
+            read_manifest(path)

@@ -1,0 +1,126 @@
+"""Unit tests for the structured event tracer and the ambient context."""
+
+import pytest
+
+from repro.obs import (
+    DISABLED,
+    Category,
+    MetricsRegistry,
+    NullTracer,
+    Obs,
+    Tracer,
+    current,
+    gpu_track,
+    job_track,
+    use,
+)
+
+
+class TestRecording:
+    def test_span_records_extent(self):
+        tr = Tracer()
+        tr.span(Category.SIM, "compute", track=gpu_track(0),
+                start=1.0, end=3.0, job=4)
+        (span,) = tr.spans
+        assert span.start == 1.0
+        assert span.duration == 2.0
+        assert span.end == 3.0
+        assert span.args == {"job": 4}
+
+    def test_span_clamps_negative_duration(self):
+        tr = Tracer()
+        tr.span(Category.SIM, "x", track="t", start=3.0, end=1.0)
+        assert tr.spans[0].duration == 0.0
+
+    def test_instant_and_flow(self):
+        tr = Tracer()
+        tr.instant(Category.SYNC, "barrier", track=job_track(2), time=5.0)
+        tr.flow(7, Category.SYNC, "round", src_track=job_track(2),
+                src_time=5.0, dst_track=gpu_track(1), dst_time=5.0)
+        assert tr.instants[0].time == 5.0
+        assert tr.flows[0].flow_id == 7
+        assert tr.num_events == 2
+
+    def test_tracks_sorted_and_include_flow_endpoints(self):
+        tr = Tracer()
+        tr.span(Category.SIM, "c", track=gpu_track(1), start=0, end=1)
+        tr.flow(1, Category.SYNC, "r", src_track=job_track(0), src_time=0,
+                dst_track="engine", dst_time=1)
+        assert tr.tracks() == ["engine", "gpu/1", "job/0"]
+
+    def test_timed_records_wall_span_and_histogram(self):
+        tr = Tracer()
+        hist = MetricsRegistry().histogram("phase_s")
+        with tr.timed(Category.SCHED, "solve", hist=hist, tasks=3):
+            pass
+        (wall,) = tr.wall_spans
+        assert wall.name == "solve"
+        assert wall.track == "scheduler"
+        assert wall.args == {"tasks": 3}
+        assert wall.duration >= 0.0
+        assert hist.count == 1
+        # Wall spans live in their own domain, not the sim-time trace.
+        assert tr.tracks() == []
+
+    def test_timed_wall_epoch_makes_starts_relative(self):
+        tr = Tracer()
+        with tr.timed(Category.SCHED, "first"):
+            pass
+        with tr.timed(Category.SCHED, "second"):
+            pass
+        assert tr.wall_spans[0].start == pytest.approx(0.0, abs=1e-6)
+        assert tr.wall_spans[1].start >= tr.wall_spans[0].start
+
+
+class TestNullTracer:
+    def test_emissions_are_dropped(self):
+        tr = NullTracer()
+        tr.span(Category.SIM, "c", track="t", start=0, end=1)
+        tr.instant(Category.SIM, "i", track="t", time=0)
+        tr.flow(1, Category.SIM, "f", src_track="t", src_time=0,
+                dst_track="t", dst_time=1)
+        assert tr.num_events == 0
+        assert not tr.enabled
+
+    def test_timed_still_feeds_histogram(self):
+        tr = NullTracer()
+        hist = MetricsRegistry().histogram("phase_s")
+        with tr.timed(Category.SCHED, "solve", hist=hist):
+            pass
+        assert tr.wall_spans == []
+        assert hist.count == 1
+
+    def test_timed_without_hist_is_pure_noop(self):
+        tr = NullTracer()
+        with tr.timed(Category.SCHED, "solve"):
+            pass
+        assert tr.num_events == 0
+
+
+class TestAmbientContext:
+    def test_disabled_by_default(self):
+        assert current() is DISABLED
+        assert not DISABLED.enabled
+
+    def test_use_installs_and_restores(self):
+        obs = Obs.start()
+        assert obs.enabled
+        with use(obs):
+            assert current() is obs
+        assert current() is DISABLED
+
+    def test_use_restores_on_exception(self):
+        obs = Obs.start()
+        with pytest.raises(RuntimeError):
+            with use(obs):
+                raise RuntimeError("boom")
+        assert current() is DISABLED
+
+    def test_start_without_trace_keeps_metrics(self):
+        obs = Obs.start(trace=False)
+        assert isinstance(obs.tracer, NullTracer)
+        assert obs.enabled  # metrics registry is still live
+        obs.metrics.counter("c").inc()
+        assert obs.metrics.snapshot() == {
+            "c": {"type": "counter", "value": 1.0}
+        }

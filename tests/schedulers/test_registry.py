@@ -1,0 +1,117 @@
+"""Tests for the decorator-based scheduler registry."""
+
+import pytest
+
+import repro.schedulers as schedulers
+from repro.schedulers import (
+    HareScheduler,
+    Scheduler,
+    SchemeInfo,
+    UnknownSchedulerError,
+    available,
+    create,
+    create_from_spec,
+    info,
+    register,
+    scheduler_by_name,
+    schemes,
+)
+
+ALL_KEYS = [
+    "gavel_fifo", "gavel_ts", "hare", "hare_online",
+    "sched_allox", "sched_homo", "srtf",
+]
+
+
+class TestRegistryContents:
+    def test_every_scheme_is_registered(self):
+        assert available() == ALL_KEYS
+
+    def test_schemes_iterates_in_key_order(self):
+        assert [s.key for s in schemes()] == ALL_KEYS
+
+    def test_info_carries_class_and_summary(self):
+        scheme = info("hare")
+        assert isinstance(scheme, SchemeInfo)
+        assert scheme.cls is HareScheduler
+        assert scheme.summary
+
+    def test_info_is_case_insensitive(self):
+        assert info("HARE") is info("hare")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("hare")(HareScheduler)
+
+
+class TestCreate:
+    def test_creates_by_key(self):
+        sched = create("hare")
+        assert isinstance(sched, HareScheduler)
+        assert sched.name == "Hare"
+
+    def test_passes_constructor_kwargs(self):
+        sched = create("sched_allox", weighted=True)
+        assert sched.weighted is True
+
+    def test_unknown_scheme_lists_known(self):
+        with pytest.raises(UnknownSchedulerError) as err:
+            create("nope")
+        message = str(err.value)
+        assert "unknown scheduler 'nope'" in message
+        assert "hare" in message and "srtf" in message
+
+    def test_unknown_scheme_is_a_keyerror(self):
+        # Pre-registry call sites caught KeyError; keep that contract.
+        with pytest.raises(KeyError):
+            create("nope")
+
+    def test_unknown_option_lists_accepted(self):
+        with pytest.raises(TypeError, match="unknown option"):
+            create("sched_allox", weightd=True)
+        with pytest.raises(TypeError, match="accepted"):
+            create("sched_allox", weightd=True)
+
+
+class TestCreateFromSpec:
+    def test_string_spec(self):
+        assert isinstance(create_from_spec("hare"), HareScheduler)
+
+    def test_mapping_spec_with_options(self):
+        sched = create_from_spec({"name": "sched_allox", "weighted": True})
+        assert sched.weighted is True
+
+    def test_mapping_spec_requires_name(self):
+        with pytest.raises(TypeError, match="'name' key"):
+            create_from_spec({"weighted": True})
+
+    def test_instance_passes_through(self):
+        sched = create("srtf")
+        assert create_from_spec(sched) is sched
+
+    def test_garbage_spec_rejected(self):
+        with pytest.raises(TypeError):
+            create_from_spec(42)
+
+
+class TestDeprecatedShim:
+    def test_scheduler_by_name_warns_and_delegates(self):
+        with pytest.deprecated_call():
+            sched = scheduler_by_name("hare")
+        assert isinstance(sched, HareScheduler)
+
+    def test_shim_accepts_legend_capitalization(self):
+        with pytest.deprecated_call():
+            sched = scheduler_by_name("Gavel_FIFO")
+        assert isinstance(sched, Scheduler)
+        assert sched.name == "Gavel_FIFO"
+
+    def test_shim_unknown_name_still_raises_keyerror(self):
+        with pytest.deprecated_call(), pytest.raises(KeyError):
+            scheduler_by_name("nope")
+
+    def test_module_reexports_registry_api(self):
+        for symbol in ("available", "create", "create_from_spec", "info",
+                       "register", "schemes", "SchemeInfo",
+                       "UnknownSchedulerError"):
+            assert symbol in schedulers.__all__

@@ -55,7 +55,7 @@ class TestDerived:
     def test_empty_telemetry(self):
         t = Telemetry(num_gpus=2)
         assert t.makespan == 0.0
-        assert t.mean_utilization() == 0.0
+        assert t.mean_utilization == 0.0
         assert t.switch_overhead_fraction() == 0.0
         assert t.plan_deviation() == 0.0
 
@@ -79,3 +79,68 @@ class TestDerived:
         t.record_task(record(start=2.0, planned=1.0, train=8.0, sync=0.0))
         # slip 1.0 over makespan 10.0
         assert t.plan_deviation() == pytest.approx(0.1)
+
+    def test_utilization_clamps_straddling_interval(self):
+        # A busy interval straddling the horizon counts only up to it:
+        # busy [0, 3] against horizon 2.0 is 100% utilization, not 150%.
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=0.0, train=3.0, sync=0.0))
+        assert t.gpu_utilization(horizon=2.0)[0] == pytest.approx(1.0)
+
+    def test_utilization_ignores_interval_past_horizon(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=5.0, train=1.0, sync=0.0))
+        assert t.gpu_utilization(horizon=2.0)[0] == 0.0
+
+
+class TestMetricsRegistry:
+    def test_scalars_route_through_registry(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=1.0, switch=0.5, hit=True))
+        snap = t.metrics.snapshot()
+        assert snap["sim.tasks"]["value"] == 1
+        assert snap["sim.switch_count"]["value"] == 1
+        assert snap["sim.retention_hits"]["value"] == 1
+        assert snap["sim.train_time_s"]["total"] == pytest.approx(2.0)
+        assert snap["sim.switch_time_s"]["total"] == pytest.approx(0.5)
+
+    def test_totals_match_histograms(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=0.0, switch=0.25, train=2.0, sync=0.5))
+        t.record_task(record(rnd=1, start=3.0, switch=0.25, train=2.0))
+        assert float(t.total_switch_time) == pytest.approx(0.5)
+        assert float(t.total_train_time) == pytest.approx(4.0)
+
+
+class TestDeprecatedCallableAliases:
+    """Legacy call-style access still works, with a DeprecationWarning."""
+
+    def test_total_switch_time_callable_warns(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=1.0, switch=0.5))
+        with pytest.deprecated_call():
+            assert t.total_switch_time() == pytest.approx(0.5)
+
+    def test_total_train_time_callable_warns(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record())
+        with pytest.deprecated_call():
+            assert t.total_train_time() == pytest.approx(2.0)
+
+    def test_mean_utilization_callable_warns(self):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=0.0, train=2.0, sync=0.0))
+        with pytest.deprecated_call():
+            called = t.mean_utilization()
+        assert called == pytest.approx(t.mean_utilization)
+
+    def test_property_access_does_not_warn(self, recwarn):
+        t = Telemetry(num_gpus=1)
+        t.record_task(record())
+        _ = float(t.total_train_time) + float(t.total_switch_time)
+        _ = t.mean_utilization + 0.0
+        deprecations = [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations

@@ -1,0 +1,183 @@
+"""Tests for the stable ``repro.api`` facade and its exported artifacts."""
+
+import pytest
+
+import repro
+from repro.api import CompareResult, RunResult, compare, run_experiment
+from repro.api import simulate as api_simulate
+from repro.cli import main
+from repro.obs import NullTracer, read_manifest, validate_chrome_trace
+from repro.schedulers import HareScheduler
+
+SMALL = dict(gpus=4, jobs=3, seed=3, rounds_scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def hare_run():
+    return run_experiment(scheduler="hare", **SMALL)
+
+
+class TestRunExperiment:
+    def test_returns_typed_result(self, hare_run):
+        assert isinstance(hare_run, RunResult)
+        assert hare_run.scheduler == "Hare"
+        assert hare_run.cluster.num_gpus == 4
+        assert hare_run.instance.num_jobs == 3
+        assert len(hare_run.plan) > 0
+        assert hare_run.sim is not None
+        assert hare_run.weighted_jct > 0
+        assert hare_run.makespan > 0
+
+    def test_metrics_prefer_simulation(self, hare_run):
+        assert hare_run.metrics is hare_run.sim.metrics
+        assert hare_run.telemetry is hare_run.sim.telemetry
+
+    def test_tracer_captured_events(self, hare_run):
+        tracer = hare_run.obs.tracer
+        assert tracer.spans and tracer.instants and tracer.flows
+        # Hare's three profiled phases land in the wall domain.
+        assert {w.name for w in tracer.wall_spans} >= {
+            "relaxation_solve", "order", "list_schedule"
+        }
+
+    def test_metrics_snapshot_merges_domains(self, hare_run):
+        snapshot = hare_run.metrics_snapshot()
+        assert "sched.phase.relaxation_solve_s" in snapshot
+        assert "sim.tasks" in snapshot
+
+    def test_simulate_false_falls_back_to_plan_metrics(self):
+        result = run_experiment(scheduler="srtf", simulate=False, **SMALL)
+        assert result.sim is None
+        assert result.telemetry is None
+        assert result.metrics is result.plan_metrics
+        assert result.weighted_jct > 0
+
+    def test_trace_false_uses_null_tracer_but_keeps_metrics(self):
+        result = run_experiment(scheduler="hare", trace=False, **SMALL)
+        assert isinstance(result.obs.tracer, NullTracer)
+        assert result.obs.tracer.num_events == 0
+        assert "sched.phase.relaxation_solve_s" in result.metrics_snapshot()
+
+    def test_scheduler_spec_forms(self):
+        by_mapping = run_experiment(
+            scheduler={"name": "sched_allox", "weighted": True},
+            simulate=False, **SMALL,
+        )
+        assert by_mapping.scheduler == "Sched_Allox"
+        by_instance = run_experiment(
+            scheduler=HareScheduler(), simulate=False, **SMALL
+        )
+        assert by_instance.scheduler == "Hare"
+
+    def test_ambient_context_restored_after_run(self, hare_run):
+        from repro.obs import DISABLED, current
+
+        assert current() is DISABLED
+
+    def test_reexported_from_package_root(self):
+        assert repro.run_experiment is run_experiment
+        assert repro.compare is compare
+
+
+class TestArtifacts:
+    def test_trace_validates(self, hare_run):
+        assert validate_chrome_trace(hare_run.trace()) > 0
+
+    def test_write_trace_and_manifest_round_trip(self, hare_run, tmp_path):
+        trace_path = hare_run.write_trace(tmp_path / "trace.json")
+        manifest_path = hare_run.write_manifest(
+            tmp_path / "run.json", trace_path=str(trace_path)
+        )
+        manifest = read_manifest(manifest_path)
+        assert manifest["results"]["scheduler"] == "Hare"
+        assert manifest["results"]["simulated"] is True
+        assert manifest["results"]["weighted_jct"] == pytest.approx(
+            hare_run.weighted_jct
+        )
+        assert manifest["config"]["seed"] == SMALL["seed"]
+        assert manifest["trace"] == str(trace_path)
+        assert "sim.tasks" in manifest["metrics"]
+
+
+class TestSimulateFacade:
+    def test_replays_existing_plan(self, hare_run):
+        replay = api_simulate(
+            hare_run.cluster, hare_run.instance, hare_run.plan,
+            scheduler="replay",
+        )
+        assert replay.scheduler == "replay"
+        assert replay.sim is not None
+        assert replay.makespan == pytest.approx(hare_run.makespan)
+        assert replay.obs.tracer.spans
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare(simulate=True, **SMALL)
+
+    def test_defaults_to_paper_schemes_hare_last(self, comparison):
+        assert isinstance(comparison, CompareResult)
+        assert comparison.names == [
+            "Gavel_FIFO", "SRTF", "Sched_Homo", "Sched_Allox", "Hare"
+        ]
+        assert len(comparison) == 5
+
+    def test_results_share_the_workload(self, comparison):
+        instances = {id(r.instance) for r in comparison}
+        assert len(instances) == 1
+
+    def test_getitem_and_summary(self, comparison):
+        assert comparison["Hare"].scheduler == "Hare"
+        summary = comparison.summary()
+        assert set(summary) == set(comparison.names)
+        assert all(m.makespan > 0 for m in summary.values())
+
+    def test_merged_trace_one_process_per_scheduler(self, comparison):
+        trace = comparison.trace()
+        process_names = {
+            e["args"]["name"]: e["pid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(process_names) == set(comparison.names)
+        assert sorted(process_names.values()) == [1, 2, 3, 4, 5]
+        assert validate_chrome_trace(trace) > 0
+
+    def test_manifest_keys_results_by_scheduler(self, comparison):
+        manifest = comparison.manifest()
+        assert set(manifest["results"]) == set(comparison.names)
+        assert set(manifest["metrics"]) == set(comparison.names)
+
+
+class TestGoldenTrace:
+    """The fixed-seed CLI trace export is byte-stable and schema-valid."""
+
+    ARGS = ["compare", "--gpus", "15", "--jobs", "8",
+            "--rounds-scale", "0.05"]
+
+    def test_compare_trace_export_is_byte_stable(self, tmp_path, capsys):
+        paths = []
+        for run in ("a", "b"):
+            trace = tmp_path / f"trace-{run}.json"
+            manifest = tmp_path / f"run-{run}.json"
+            rc = main(self.ARGS + ["--trace-out", str(trace),
+                                   "--manifest-out", str(manifest)])
+            assert rc == 0
+            paths.append((trace, manifest))
+        capsys.readouterr()
+
+        (trace_a, manifest_a), (trace_b, manifest_b) = paths
+        assert trace_a.read_bytes() == trace_b.read_bytes()
+
+        import json
+
+        assert validate_chrome_trace(json.loads(trace_a.read_text())) > 0
+        loaded = read_manifest(manifest_a)
+        assert loaded["config"]["gpus"] == 15
+        assert loaded["config"]["jobs"] == 8
+        # Manifests differ only in their wall-clock fields.
+        other = read_manifest(manifest_b)
+        for volatile in ("created_at", "metrics", "trace"):
+            loaded.pop(volatile), other.pop(volatile)
+        assert loaded == other
