@@ -1,0 +1,119 @@
+"""Kernel micro-benchmark: event throughput and re-plan latency.
+
+Runs a fixed-seed streaming workload (Google-like arrivals on the paper's
+15-GPU testbed) through the scheduling kernel twice — offline Hare behind
+:class:`PlannedPolicy`, and the natively re-planning online Hare — and
+writes ``BENCH_kernel.json`` with events/sec plus residual-build and
+residual-solve latency quantiles pulled from the ``kernel.*`` obs
+histograms. CI's ``bench-smoke`` job runs this and uploads the artifact;
+it is a smoke + trend probe, not a rigorous perf harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py \
+        [--jobs 24] [--seed 7] [--out benchmarks/out/BENCH_kernel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.cluster import testbed_cluster
+from repro.harness import make_workload
+from repro.kernel import PlannedPolicy, run_policy
+from repro.obs import Obs, use
+from repro.schedulers import HareScheduler, OnlineHarePolicy
+from repro.workload import WorkloadConfig, build_instance
+
+
+def _quantiles(snapshot: dict, name: str, hist) -> dict:
+    if hist is None or hist.count == 0:
+        return {"count": 0}
+    return {
+        "count": hist.count,
+        "p50_s": hist.quantile(0.50),
+        "p99_s": hist.quantile(0.99),
+        "mean_s": hist.mean,
+        "max_s": hist.max,
+    }
+
+
+def bench_one(instance, policy_factory) -> dict:
+    with use(Obs.start(trace=False)) as obs:
+        t0 = time.perf_counter()
+        result = run_policy(instance, policy_factory())
+        wall_s = time.perf_counter() - t0
+        snap = obs.metrics.snapshot()
+        build_hist = (
+            obs.metrics.histogram("kernel.residual_build_s")
+            if "kernel.residual_build_s" in obs.metrics
+            else None
+        )
+        solve_hist = (
+            obs.metrics.histogram("kernel.residual_solve_s")
+            if "kernel.residual_solve_s" in obs.metrics
+            else None
+        )
+    return {
+        "wall_s": wall_s,
+        "events": result.events,
+        "events_per_sec": result.events / wall_s if wall_s > 0 else 0.0,
+        "commitments": result.commitments,
+        "replans": result.replans,
+        "weighted_completion": result.metrics.total_weighted_completion,
+        "makespan": result.metrics.makespan,
+        "residual_build": _quantiles(snap, "kernel.residual_build_s", build_hist),
+        "residual_solve": _quantiles(snap, "kernel.residual_solve_s", solve_hist),
+        "counters": {
+            k: v["value"]
+            for k, v in snap.items()
+            if v.get("type") == "counter" and k.startswith("kernel.")
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "out" / "BENCH_kernel.json",
+    )
+    args = parser.parse_args(argv)
+
+    cluster = testbed_cluster()
+    jobs = make_workload(
+        args.jobs, seed=args.seed, config=WorkloadConfig(rounds_scale=0.1)
+    )
+    instance = build_instance(jobs, cluster)
+
+    report = {
+        "benchmark": "kernel",
+        "config": {
+            "gpus": instance.num_gpus,
+            "jobs": instance.num_jobs,
+            "tasks": instance.num_tasks,
+            "seed": args.seed,
+        },
+        "planned_hare": bench_one(
+            instance,
+            lambda: PlannedPolicy(HareScheduler(relaxation="fluid")),
+        ),
+        "online_hare": bench_one(
+            instance, lambda: OnlineHarePolicy(relaxation="fluid")
+        ),
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

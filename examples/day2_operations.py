@@ -17,6 +17,7 @@ Run:  python examples/day2_operations.py
 from repro.cluster import scaled_cluster
 from repro.core import finish_time_fairness
 from repro.harness import make_loaded_workload, make_problem, render_table
+from repro.kernel import run_policy
 from repro.schedulers import create
 from repro.sim import simulate_plan
 from repro.workload import WorkloadConfig
@@ -35,7 +36,12 @@ def main() -> None:
 
     rows = []
     for scheduler in (create("hare_online"), create("sched_allox")):
-        plan = scheduler.schedule(instance)
+        # Drive each scheme through the scheduling kernel: hare_online
+        # re-plans natively at every arrival event, sched_allox runs its
+        # offline plan behind the kernel's PlannedPolicy adapter.
+        plan = run_policy(
+            instance, scheduler.make_policy(instance)
+        ).schedule
         clean = simulate_plan(cluster, instance, plan)
         # two GPUs crash mid-run; 10 s to restart each
         failures = [(clean.makespan * 0.3, 0), (clean.makespan * 0.5, 3)]

@@ -25,6 +25,7 @@ from . import (
     core,
     dml,
     harness,
+    kernel,
     obs,
     schedulers,
     sim,
@@ -51,6 +52,7 @@ __all__ = [
     "core",
     "dml",
     "harness",
+    "kernel",
     "obs",
     "quick_compare",
     "run_comparison",

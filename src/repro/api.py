@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Mapping, Sequence, Union
+from typing import Iterator, Literal, Mapping, Sequence, Union
 
 from .cluster.cluster import Cluster, scaled_cluster, testbed_cluster
 from .core.job import Job, ProblemInstance
@@ -36,6 +36,7 @@ from .core.metrics import ScheduleMetrics, metrics_from_schedule
 from .core.schedule import Schedule, validate_schedule
 from .core.types import SwitchMode
 from .harness.experiments import make_loaded_workload, make_problem
+from .kernel import KernelResult, run_policy
 from .obs import (
     Obs,
     build_manifest,
@@ -52,9 +53,18 @@ from .workload.jobs import WorkloadConfig
 #: with a ``name`` key plus constructor options, or a built instance.
 SchedulerSpec = Union[str, Mapping, Scheduler]
 
+#: How arrivals reach the scheduler: ``"planned"`` gives the scheduler the
+#: whole instance up front (the paper's offline setting); ``"streaming"``
+#: feeds arrivals as events through the :mod:`repro.kernel` event loop and
+#: the scheduler participates as an incremental policy
+#: (:meth:`~repro.schedulers.base.Scheduler.make_policy`).
+ArrivalsMode = Literal["planned", "streaming"]
+
 DEFAULT_SCHEMES = (
     "gavel_fifo", "srtf", "sched_homo", "sched_allox", "hare",
 )
+
+_ARRIVALS_MODES = ("planned", "streaming")
 
 
 @dataclass(slots=True)
@@ -69,6 +79,8 @@ class RunResult:
     sim: SimResult | None
     obs: Obs
     config: dict
+    #: Kernel run details when ``arrivals="streaming"`` (else ``None``).
+    kernel: KernelResult | None = None
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -240,11 +252,23 @@ def _run_one(
     trace: bool,
     validate: bool,
     config: dict,
+    arrivals: ArrivalsMode = "planned",
 ) -> RunResult:
+    if arrivals not in _ARRIVALS_MODES:
+        raise ValueError(
+            f"arrivals must be one of {_ARRIVALS_MODES}, got {arrivals!r}"
+        )
     sched = create_from_spec(scheduler)
     obs = Obs.start(trace=trace)
+    kernel_result: KernelResult | None = None
     with use(obs):
-        plan = sched.schedule(instance)
+        if arrivals == "streaming":
+            kernel_result = run_policy(
+                instance, sched.make_policy(instance)
+            )
+            plan = kernel_result.schedule
+        else:
+            plan = sched.schedule(instance)
         if validate:
             validate_schedule(plan)
         sim = (
@@ -261,6 +285,7 @@ def _run_one(
         sim=sim,
         obs=obs,
         config=config,
+        kernel=kernel_result,
     )
 
 
@@ -278,6 +303,7 @@ def run_experiment(
     validate: bool = True,
     cluster: Cluster | None = None,
     workload: Sequence[Job] | None = None,
+    arrivals: ArrivalsMode = "planned",
 ) -> RunResult:
     """Run one scheduler end-to-end on a generated (or given) workload.
 
@@ -287,6 +313,12 @@ def run_experiment(
     ``simulate`` (the default) the plan is replayed on the DES with
     ``switch_mode`` switching costs; with ``trace`` the run records
     structured events exportable via :meth:`RunResult.write_trace`.
+
+    ``arrivals="streaming"`` runs the scheduler as an incremental policy
+    on the :mod:`repro.kernel` event loop — arrivals land as events, and
+    :attr:`RunResult.kernel` carries the kernel's run statistics
+    (events, commitments, re-plans). With every arrival known and no
+    faults, the streaming metrics equal the planned ones.
     """
     cluster, workload, instance = _setup(
         gpus=gpus, jobs=jobs, seed=seed, load=load,
@@ -302,11 +334,12 @@ def run_experiment(
         "rounds_scale": rounds_scale,
         "simulate": simulate,
         "switch_mode": switch_mode.value,
+        "arrivals": arrivals,
     }
     return _run_one(
         scheduler, cluster, instance,
         simulate=simulate, switch_mode=switch_mode, trace=trace,
-        validate=validate, config=config,
+        validate=validate, config=config, arrivals=arrivals,
     )
 
 
@@ -358,12 +391,15 @@ def compare(
     validate: bool = True,
     cluster: Cluster | None = None,
     workload: Sequence[Job] | None = None,
+    arrivals: ArrivalsMode = "planned",
 ) -> CompareResult:
     """Run several schedulers on one shared workload.
 
     Defaults to the paper's five compared schemes (Hare last). Each run
     gets a private tracer and registry; :meth:`CompareResult.write_trace`
     merges them into one Perfetto file with a process per scheduler.
+    ``arrivals="streaming"`` drives every scheme through the
+    :mod:`repro.kernel` event loop instead of offline planning.
     """
     cluster, workload, instance = _setup(
         gpus=gpus, jobs=jobs, seed=seed, load=load,
@@ -380,19 +416,21 @@ def compare(
         "rounds_scale": rounds_scale,
         "simulate": simulate,
         "switch_mode": switch_mode.value,
+        "arrivals": arrivals,
     }
     results: dict[str, RunResult] = {}
     for spec in specs:
         run = _run_one(
             spec, cluster, instance,
             simulate=simulate, switch_mode=switch_mode, trace=trace,
-            validate=validate, config=config,
+            validate=validate, config=config, arrivals=arrivals,
         )
         results[run.scheduler] = run
     return CompareResult(results=results, config=config)
 
 
 __all__ = [
+    "ArrivalsMode",
     "CompareResult",
     "DEFAULT_SCHEMES",
     "RunResult",

@@ -93,6 +93,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         rounds_scale=args.rounds_scale,
         simulate=simulate,
         trace=_wants_artifacts(args),
+        arrivals=getattr(args, "arrivals", "planned"),
     )
     results = comparison.results
     hare = results["Hare"].metrics.total_weighted_flow
@@ -142,6 +143,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         rounds_scale=args.rounds_scale,
         simulate=simulate,
         trace=_wants_artifacts(args),
+        arrivals=getattr(args, "arrivals", "planned"),
     )
     m = r.metrics
     rows = [
@@ -410,6 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multiplier on per-job round counts")
         p.add_argument("--simulate", action="store_true",
                        help="replay the plan on the DES with switch costs")
+        p.add_argument("--arrivals", choices=("planned", "streaming"),
+                       default="planned",
+                       help="planned = offline clairvoyant planning; "
+                            "streaming = feed arrivals as events through "
+                            "the scheduling kernel")
         p.add_argument("--trace", metavar="CSV",
                        help="load the workload from a trace CSV instead of "
                             "generating one")

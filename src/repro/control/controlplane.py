@@ -36,9 +36,9 @@ from ..faults.recovery import (
 )
 from ..faults.retry import RetryPolicy
 from ..faults.scenario import FaultScenario
+from ..kernel.residual import ResidualPlanner
 from ..obs import Category, current as obs_current
 from ..schedulers import HareScheduler, Scheduler
-from ..schedulers.online import build_residual_instance
 from ..sim.simulator import ClusterSimulator, SimResult, simulate_plan
 from ..workload.models import spec_or_synthetic
 from ..workload.profiler import TaskProfiler, build_instance
@@ -447,6 +447,9 @@ class ControlPlane:
         completions: dict[int, float] = {}
 
         cur_cluster = self.cluster
+        # Residual re-planning runs on the kernel's re-plan path: cached
+        # residual construction plus kernel.* latency observability.
+        planner = ResidualPlanner(instance)
         gpu_map = list(range(instance.num_gpus))  # local → global GPU id
         cur_instance, cur_plan = instance, plan
         id_map = [(job.job_id, 0) for job in jobs]  # local → (global, offset)
@@ -602,8 +605,8 @@ class ControlPlane:
             # 4. Re-plan the residual workload on the survivors.
             dead.add(crash.gpu_id)
             cur_cluster, gpu_map = survivor_cluster(self.cluster, dead)
-            residual, id_map = build_residual_instance(
-                instance, jobs, rounds_done, ready_at, gpu_subset=gpu_map
+            residual, id_map = planner.residual(
+                jobs, rounds_done, ready_at, gpu_subset=gpu_map
             )
             phase_start = t_dead
             if residual is None:
@@ -617,7 +620,7 @@ class ControlPlane:
                 survivors=len(gpu_map),
                 hist=obs.metrics.histogram("ctrl.plan_s"),
             ):
-                cur_plan = self.scheduler.schedule(residual)
+                cur_plan = planner.plan(self.scheduler, residual)
             telemetry.replans += 1
             obs.metrics.counter("ctrl.replans").inc()
             if obs.enabled:

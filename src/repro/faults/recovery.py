@@ -8,9 +8,9 @@ When the detector confirms a permanent GPU failure, the control plane
    GPU) back to their latest :class:`~repro.control.storage.BlobStore`
    checkpoint, paying the restore read and losing the rounds since it;
 3. re-plans the residual workload — the remaining rounds of *all*
-   unfinished jobs — on the surviving GPUs, reusing the online scheduler's
-   residual-instance machinery
-   (:func:`repro.schedulers.online.build_residual_instance`);
+   unfinished jobs — on the surviving GPUs, through the scheduling
+   kernel's residual re-plan path
+   (:class:`repro.kernel.residual.ResidualPlanner`);
 4. stitches the committed prefix to the realized recovery execution into
    one global schedule.
 

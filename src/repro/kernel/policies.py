@@ -1,0 +1,184 @@
+"""The policy protocol and the two reusable policy skeletons.
+
+A **policy** is the incremental form of a scheduler: instead of emitting a
+full :class:`~repro.core.schedule.Schedule` from a clairvoyant view, it is
+woken on typed events and returns :class:`~repro.kernel.state.Commitment`
+values. Three shapes cover every scheme in the repo:
+
+:class:`PlannedPolicy`
+    Clairvoyant adapter: solve the whole instance once, then release each
+    round's assignments as its precedence predecessor completes. Any
+    offline :class:`~repro.schedulers.base.Scheduler` runs on the kernel
+    through this wrapper and realizes *exactly* its offline metrics.
+:class:`GangPolicy`
+    Base for the §7.1 gang baselines (Gavel_FIFO, SRTF, Sched_Homo): a
+    job waits for ``sync_scale`` simultaneously free GPUs, pins one task
+    per GPU per round at the pace of the slowest device, and releases the
+    GPUs only at job completion. Subclasses implement :meth:`select`.
+native policies
+    Schemes that genuinely re-plan (online Hare) implement
+    :class:`Policy` directly — see ``repro.schedulers.online``.
+
+This module deliberately imports nothing from ``repro.schedulers``; the
+planner objects it adapts are duck-typed (``schedule(instance)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.errors import InfeasibleProblemError
+from ..core.schedule import TaskAssignment
+from ..core.types import TaskRef
+from .events import Event, KernelEventType
+from .state import Commitment, KernelState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.schedule import Schedule
+
+
+class Policy(ABC):
+    """Incremental scheduler: react to events with commitments."""
+
+    #: Display name (mirrors :attr:`repro.schedulers.base.Scheduler.name`).
+    name: str = "policy"
+
+    def setup(self, state: KernelState) -> None:
+        """One-time hook before the first event (feasibility checks …)."""
+
+    @abstractmethod
+    def on_event(
+        self, event: Event, state: KernelState
+    ) -> list[Commitment]:
+        """Decide at ``state.now``; return [] to wait.
+
+        The kernel re-invokes with the same event until the policy
+        returns no commitments (a fixed point), so one invocation may
+        commit conservatively and rely on being asked again.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PlannedPolicy(Policy):
+    """Run an offline planner's schedule through the kernel, verbatim.
+
+    The plan is computed lazily at :meth:`setup` (the planner sees the
+    full instance — this wrapper *is* the clairvoyant mode). Round 0 of a
+    job is committed when its ``JOB_ARRIVED`` fires; round ``r + 1`` when
+    ``ROUND_BARRIER_OPEN(job, r)`` fires. Since commitments carry the
+    plan's absolute start times, the committed schedule equals the plan
+    assignment-for-assignment.
+    """
+
+    def __init__(self, planner) -> None:
+        self.planner = planner
+        self.name = getattr(planner, "name", type(planner).__name__)
+        self._plan: "Schedule | None" = None
+        self._emitted: set[tuple[int, int]] = set()
+
+    def setup(self, state: KernelState) -> None:
+        self._plan = self.planner.schedule(state.instance)
+        self._emitted.clear()
+
+    def _round_commitment(
+        self, state: KernelState, job_id: int, round_idx: int
+    ) -> list[Commitment]:
+        job = state.instance.jobs[job_id]
+        if round_idx >= job.num_rounds:
+            return []
+        key = (job_id, round_idx)
+        if key in self._emitted:
+            return []
+        self._emitted.add(key)
+        assert self._plan is not None
+        assignments = tuple(
+            self._plan[task] for task in job.round_tasks(round_idx)
+        )
+        return [Commitment(assignments=assignments)]
+
+    def on_event(
+        self, event: Event, state: KernelState
+    ) -> list[Commitment]:
+        if event.type == KernelEventType.JOB_ARRIVED:
+            return self._round_commitment(state, event.payload, 0)
+        if event.type == KernelEventType.ROUND_BARRIER_OPEN:
+            job_id, round_idx = event.payload
+            return self._round_commitment(state, job_id, round_idx + 1)
+        return []
+
+
+class GangPolicy(Policy):
+    """Gang execution: exclusive GPUs for a job's whole lifetime.
+
+    At every wake-up the policy sees the arrived-but-unstarted jobs and
+    the currently free GPUs and may start one job (:meth:`select`); the
+    kernel's fixed-point re-invocation lets several jobs start at the
+    same instant, exactly like the retired virtual-time gang loop. Every
+    round takes ``max_m (T^c + T^s)`` over the gang — the straggler
+    effect of §2.2.2 — and the GPUs are released only at job completion
+    (``gpu_release``), modeling job-level non-preemption.
+    """
+
+    def setup(self, state: KernelState) -> None:
+        for job in state.instance.jobs:
+            if job.sync_scale > state.instance.num_gpus:
+                raise InfeasibleProblemError(
+                    f"job {job.job_id} needs {job.sync_scale} simultaneous "
+                    f"GPUs but the cluster has {state.instance.num_gpus}"
+                )
+
+    @abstractmethod
+    def select(
+        self, state: KernelState, runnable: list[int], free: list[int]
+    ) -> tuple[int, list[int]] | None:
+        """Pick (job_id, gpus) to start now, or ``None`` to wait."""
+
+    def on_event(
+        self, event: Event, state: KernelState
+    ) -> list[Commitment]:
+        runnable = state.unstarted()
+        if not runnable:
+            return []
+        free = state.free_gpus()
+        decision = self.select(state, runnable, free)
+        if decision is None:
+            return []
+        job_id, gpus = decision
+        job = state.instance.jobs[job_id]
+        start = max(state.now, job.arrival)
+        return [gang_commitment(state, job_id, gpus, start)]
+
+
+def gang_commitment(
+    state: KernelState, job_id: int, gpus: Sequence[int], start: float
+) -> Commitment:
+    """All rounds of *job_id* pinned one-task-per-GPU from *start*."""
+    instance = state.instance
+    job = instance.jobs[job_id]
+    if len(gpus) != job.sync_scale:
+        raise InfeasibleProblemError(
+            f"job {job_id} with scale {job.sync_scale} given "
+            f"{len(gpus)} GPUs"
+        )
+    round_time = max(instance.task_time(job_id, m) for m in gpus)
+    assignments: list[TaskAssignment] = []
+    t = start
+    for r in range(job.num_rounds):
+        for slot, m in enumerate(gpus):
+            assignments.append(
+                TaskAssignment(
+                    task=TaskRef(job_id, r, slot),
+                    gpu=m,
+                    start=t,
+                    train_time=instance.tc(job_id, m),
+                    sync_time=instance.ts(job_id, m),
+                )
+            )
+        t += round_time
+    return Commitment(
+        assignments=tuple(assignments),
+        gpu_release={m: t for m in gpus},
+    )

@@ -1,0 +1,227 @@
+"""Residual-problem construction and the kernel's re-plan path.
+
+Re-planning schedulers (online Hare, the chaos recovery pipeline) repeat
+one move: freeze the committed prefix, build the **residual problem** —
+the remaining rounds of the known jobs, optionally restricted to the
+surviving GPUs — and solve it. :func:`build_residual_instance` is that
+construction (it used to live in ``repro.schedulers.online``, forcing the
+control plane to import from a sibling scheduler module — the layering
+inversion this module fixes), and :class:`ResidualPlanner` wraps it with
+
+* a fingerprint cache over residual construction (identical kernel state
+  → the same ``ProblemInstance`` object, no numpy re-slicing), and
+* a memo over relaxation solves keyed by (solver type, residual
+  fingerprint) — the "warm start" of an event-driven re-planner: since
+  the solvers are deterministic, replaying a previously seen residual
+  reuses the previous :class:`RelaxationResult` exactly, preserving
+  semantics while skipping the LP/fluid solve,
+
+plus ``kernel.*`` observability: build/solve latency histograms and
+cache-hit counters land in the ambient :class:`repro.obs.Obs` registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.job import Job, ProblemInstance
+from ..obs import Category, current as obs_current
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layering cycle
+    from ..core.schedule import Schedule
+
+#: Trace track carrying kernel-level spans and instants.
+KERNEL_TRACK = "kernel"
+
+#: Entries kept in each of the planner's two memo tables.
+CACHE_SIZE = 128
+
+
+def build_residual_instance(
+    instance: ProblemInstance,
+    jobs: list[Job],
+    rounds_done: dict[int, int],
+    ready_at: dict[int, float],
+    *,
+    gpu_subset: list[int] | None = None,
+) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
+    """The residual problem: remaining rounds of *jobs*, optionally on a
+    GPU subset.
+
+    Each job with rounds left becomes a locally re-indexed job whose
+    arrival is when its next round may start (its last committed barrier,
+    or its recovery-readiness time after a checkpoint restore). Returns the
+    residual instance (``None`` if nothing remains) and the local → global
+    map ``[(global_job_id, round_offset), ...]``.
+
+    ``gpu_subset`` restricts the time matrices to the given (global) GPU
+    columns — the fault-recovery path passes the surviving GPUs here, the
+    online scheduler keeps the full cluster.
+    """
+    residual_jobs: list[Job] = []
+    id_map: list[tuple[int, int]] = []
+    for job in jobs:
+        done = rounds_done[job.job_id]
+        remaining = job.num_rounds - done
+        if remaining <= 0:
+            continue
+        local_id = len(residual_jobs)
+        residual_jobs.append(
+            Job(
+                job_id=local_id,
+                model=job.model,
+                arrival=max(ready_at[job.job_id], job.arrival),
+                weight=job.weight,
+                num_rounds=remaining,
+                sync_scale=job.sync_scale,
+                batch_scale=job.batch_scale,
+            )
+        )
+        id_map.append((job.job_id, done))
+    if not residual_jobs:
+        return None, []
+    globals_ = [g for g, _ in id_map]
+    if gpu_subset is None:
+        train = instance.train_time[globals_]
+        sync = instance.sync_time[globals_]
+        labels = list(instance.gpu_labels)
+    else:
+        cols = np.ix_(globals_, gpu_subset)
+        train = instance.train_time[cols]
+        sync = instance.sync_time[cols]
+        labels = [instance.gpu_labels[m] for m in gpu_subset]
+    return (
+        ProblemInstance(
+            jobs=residual_jobs,
+            train_time=train,
+            sync_time=sync,
+            gpu_labels=labels,
+        ),
+        id_map,
+    )
+
+
+def _fingerprint(
+    jobs: Sequence[Job],
+    rounds_done: dict[int, int],
+    ready_at: dict[int, float],
+    gpu_subset: list[int] | None,
+) -> tuple:
+    return (
+        tuple(
+            (j.job_id, rounds_done[j.job_id], ready_at[j.job_id])
+            for j in jobs
+        ),
+        None if gpu_subset is None else tuple(gpu_subset),
+    )
+
+
+class ResidualPlanner:
+    """Cached residual construction and memoized re-plan solves.
+
+    One planner serves one base :class:`ProblemInstance` for the length of
+    a run (an online-policy run, or one chaos recovery). Both memo tables
+    are bounded LRU (:data:`CACHE_SIZE` entries).
+    """
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        self.instance = instance
+        self._residuals: OrderedDict[
+            tuple, tuple[ProblemInstance | None, list[tuple[int, int]]]
+        ] = OrderedDict()
+        self._solves: OrderedDict[tuple, object] = OrderedDict()
+
+    # -- residual construction -----------------------------------------
+    def residual(
+        self,
+        jobs: list[Job],
+        rounds_done: dict[int, int],
+        ready_at: dict[int, float],
+        *,
+        gpu_subset: list[int] | None = None,
+    ) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
+        """Cached :func:`build_residual_instance` over this instance."""
+        obs = obs_current()
+        key = _fingerprint(jobs, rounds_done, ready_at, gpu_subset)
+        hit = self._residuals.get(key)
+        if hit is not None:
+            self._residuals.move_to_end(key)
+            obs.metrics.counter("kernel.residual_cache_hits").inc()
+            return hit
+        obs.metrics.counter("kernel.residual_cache_misses").inc()
+        with obs.tracer.timed(
+            Category.SCHED,
+            "residual_build",
+            track=KERNEL_TRACK,
+            jobs=len(jobs),
+            hist=obs.metrics.histogram("kernel.residual_build_s"),
+        ):
+            built = build_residual_instance(
+                self.instance, jobs, rounds_done, ready_at,
+                gpu_subset=gpu_subset,
+            )
+        self._residuals[key] = built
+        while len(self._residuals) > CACHE_SIZE:
+            self._residuals.popitem(last=False)
+        return built
+
+    # -- solving ---------------------------------------------------------
+    def solve_relaxation(self, solver, residual: ProblemInstance):
+        """Memoized ``solver.solve(residual)``.
+
+        The memo key is (solver type, residual content); the solvers are
+        deterministic pure functions of the instance, so a hit returns a
+        result identical to a fresh solve. The solve latency (misses only)
+        lands in the ``kernel.residual_solve_s`` histogram.
+        """
+        obs = obs_current()
+        key = (
+            type(solver).__name__,
+            tuple(
+                (j.arrival, j.weight, j.num_rounds, j.sync_scale)
+                for j in residual.jobs
+            ),
+            residual.train_time.tobytes(),
+            residual.sync_time.tobytes(),
+        )
+        hit = self._solves.get(key)
+        if hit is not None:
+            self._solves.move_to_end(key)
+            obs.metrics.counter("kernel.solver_cache_hits").inc()
+            return hit
+        with obs.tracer.timed(
+            Category.SCHED,
+            "residual_solve",
+            track=KERNEL_TRACK,
+            solver=type(solver).__name__,
+            tasks=residual.num_tasks,
+            hist=obs.metrics.histogram("kernel.residual_solve_s"),
+        ):
+            result = solver.solve(residual)
+        self._solves[key] = result
+        while len(self._solves) > CACHE_SIZE:
+            self._solves.popitem(last=False)
+        return result
+
+    def plan(self, scheduler, residual: ProblemInstance) -> "Schedule":
+        """Full-scheduler re-plan of a residual (the chaos recovery path).
+
+        *scheduler* is anything with ``schedule(instance) -> Schedule``.
+        Counted in ``kernel.replans``; latency observed into
+        ``kernel.residual_solve_s`` like the policy-side solves, so one
+        histogram carries the whole re-plan latency story.
+        """
+        obs = obs_current()
+        with obs.tracer.timed(
+            Category.SCHED,
+            "residual_replan",
+            track=KERNEL_TRACK,
+            tasks=residual.num_tasks,
+            hist=obs.metrics.histogram("kernel.residual_solve_s"),
+        ):
+            plan = scheduler.schedule(residual)
+        obs.metrics.counter("kernel.replans").inc()
+        return plan

@@ -1,0 +1,321 @@
+"""The scheduling kernel: one event loop for every scheduler.
+
+:class:`SchedulingKernel` drives a :class:`~repro.kernel.policies.Policy`
+over the DES time substrate (:class:`repro.sim.events.EventQueue` — the
+same queue, clock and tie-break discipline as the cluster simulator).
+This retired the repo's three other ad-hoc loops: the virtual-time gang
+loop that lived in ``schedulers/base.py``, the arrival-replay loop inside
+``OnlineHareScheduler.schedule``, and the crash re-plan loop's residual
+bookkeeping in ``control/controlplane.py``.
+
+Mechanics per iteration:
+
+1. pop every event sharing the earliest timestamp (a *batch* — policies
+   must see all simultaneous arrivals/frees before deciding, exactly like
+   the retired loops did);
+2. apply the state transitions (arrival bookkeeping, fault transitions
+   and their round retractions);
+3. invoke the policy once per event, re-invoking after each non-empty
+   return until it reaches a fixed point — so e.g. a gang policy can
+   start several jobs at one instant;
+4. apply the returned commitments: extend the committed schedule, advance
+   φ, and publish the follow-up ``ROUND_BARRIER_OPEN`` / ``GPU_FREE``
+   wake-ups (clamped to *now*: re-planning policies may legally commit
+   work dated before the event that triggered it).
+
+The run stops when every round of every job is committed and no fault
+events remain. Observability: ``kernel.events`` / ``kernel.commitments``
+counters, the ``kernel.commit_horizon_s`` histogram (how far past *now*
+each commitment reaches), and per-event instants on the ``kernel`` track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import InfeasibleProblemError, SimulationError
+from ..core.metrics import ScheduleMetrics, metrics_from_schedule
+from ..core.schedule import Schedule
+from ..core.job import ProblemInstance
+from ..obs import Category, current as obs_current
+from .events import Event, EventQueue, KernelEventType
+from .policies import Policy
+from .residual import KERNEL_TRACK
+from .state import KERNEL_EPS, Commitment, KernelState
+
+
+@dataclass(frozen=True, slots=True)
+class KernelResult:
+    """Outcome of one kernel run."""
+
+    schedule: Schedule
+    metrics: ScheduleMetrics
+    #: Events processed (arrivals, barriers, frees, faults, timers).
+    events: int
+    #: Commitments applied.
+    commitments: int
+    #: Re-planning passes the policy reported (0 for non-replanning ones).
+    replans: int
+    #: Rounds retracted by GPU crashes.
+    retracted_rounds: int
+
+
+class SchedulingKernel:
+    """Event loop binding one policy to one problem instance."""
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        policy: Policy,
+        *,
+        crashes: list[tuple[float, int]] | None = None,
+        restores: list[tuple[float, int]] | None = None,
+        replan_interval: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        self.instance = instance
+        self.policy = policy
+        self.state = KernelState(instance)
+        self.queue = EventQueue()
+        self.replan_interval = replan_interval
+        self.processed = 0
+        self.commitments = 0
+        self.retracted_rounds = 0
+        self._pending_faults = 0
+        total_tasks = instance.num_tasks
+        self.max_events = (
+            max_events
+            if max_events is not None
+            else 64 + 16 * (
+                total_tasks + instance.num_jobs + instance.num_gpus
+                + len(crashes or []) + len(restores or [])
+            )
+        )
+        for job in instance.jobs:
+            self.queue.push(
+                Event(job.arrival, KernelEventType.JOB_ARRIVED, job.job_id)
+            )
+        for time, gpu in crashes or []:
+            self.queue.push(
+                Event(time, KernelEventType.GPU_CRASHED, gpu)
+            )
+            self._pending_faults += 1
+        for time, gpu in restores or []:
+            self.queue.push(
+                Event(time, KernelEventType.GPU_RESTORED, gpu)
+            )
+            self._pending_faults += 1
+        if replan_interval is not None:
+            if replan_interval <= 0:
+                raise SimulationError("replan_interval must be positive")
+            self.queue.push(
+                Event(replan_interval, KernelEventType.REPLAN_TIMER, None)
+            )
+
+    # -- event helpers --------------------------------------------------
+    def _wake(self, time: float, type_: KernelEventType, payload) -> None:
+        """Push a follow-up event, clamped to the current clock."""
+        self.queue.push(Event(max(time, self.queue.now), type_, payload))
+
+    def _apply_event(self, event: Event) -> None:
+        state = self.state
+        state.now = self.queue.now
+        if event.type == KernelEventType.JOB_ARRIVED:
+            state.arrived.add(event.payload)
+            arrival = self.instance.jobs[event.payload].arrival
+            state.pending_arrivals.remove(arrival)
+        elif event.type == KernelEventType.GPU_CRASHED:
+            self._pending_faults -= 1
+            self._apply_crash(event.payload, event.time)
+        elif event.type == KernelEventType.GPU_RESTORED:
+            self._pending_faults -= 1
+            state.alive.add(event.payload)
+            state.phi[event.payload] = max(
+                state.phi[event.payload], state.now
+            )
+        elif event.type == KernelEventType.REPLAN_TIMER:
+            if self.replan_interval is not None and not state.complete():
+                self.queue.push(
+                    Event(
+                        self.queue.now + self.replan_interval,
+                        KernelEventType.REPLAN_TIMER,
+                        None,
+                    )
+                )
+        # ROUND_BARRIER_OPEN / GPU_FREE are pure wake-ups.
+
+    def _apply_crash(self, gpu: int, t: float) -> None:
+        """Kill *gpu*: retract every committed round it would still run.
+
+        Retraction is round-granular and suffix-wise per job: the first
+        round with a task on the dead GPU finishing after *t* falls, and
+        every later round of that job with it (precedence). φ is then
+        rebuilt from the surviving assignments; note gang-style
+        ``gpu_release`` holds do not survive a rebuild — fault injection
+        is exercised with re-planning policies, which release at
+        ``compute_end``.
+        """
+        state = self.state
+        state.alive.discard(gpu)
+        for job in self.instance.jobs:
+            done = state.rounds_done[job.job_id]
+            cut: int | None = None
+            for r in range(done):
+                for task in job.round_tasks(r):
+                    a = state.committed.assignments.get(task)
+                    if (
+                        a is not None
+                        and a.gpu == gpu
+                        and a.compute_end > t + KERNEL_EPS
+                    ):
+                        cut = r
+                        break
+                if cut is not None:
+                    break
+            if cut is None:
+                continue
+            for r in range(cut, done):
+                for task in job.round_tasks(r):
+                    state.committed.assignments.pop(task, None)
+                self.retracted_rounds += 1
+            state.rounds_done[job.job_id] = cut
+            last_barrier = (
+                state.committed.round_end(job.job_id, cut - 1)
+                if cut > 0
+                else job.arrival
+            )
+            state.ready_at[job.job_id] = max(t, last_barrier)
+        phi = [0.0] * self.instance.num_gpus
+        for a in state.committed.assignments.values():
+            phi[a.gpu] = max(phi[a.gpu], a.compute_end)
+        state.phi = phi
+        obs_current().metrics.counter("kernel.retractions").inc()
+
+    # -- commitments -----------------------------------------------------
+    def _apply_commitment(self, commitment: Commitment) -> None:
+        state = self.state
+        state.check_commitment(commitment)
+        obs = obs_current()
+        horizon = 0.0
+        touched_jobs: set[int] = set()
+        phi_before = list(state.phi)
+        for a in commitment.assignments:
+            if a.gpu not in state.alive:
+                raise SimulationError(
+                    f"commitment places {a.task} on dead GPU {a.gpu}"
+                )
+            state.committed.add(a)
+            state.phi[a.gpu] = max(state.phi[a.gpu], a.compute_end)
+            horizon = max(horizon, a.end)
+            touched_jobs.add(a.task.job_id)
+        for job_id in touched_jobs:
+            job = self.instance.jobs[job_id]
+            rounds = sorted(
+                {
+                    a.task.round_idx
+                    for a in commitment.assignments
+                    if a.task.job_id == job_id
+                }
+            )
+            state.rounds_done[job_id] += len(rounds)
+            barrier = max(
+                a.end
+                for a in commitment.assignments
+                if (a.task.job_id, a.task.round_idx)
+                == (job_id, rounds[-1])
+            )
+            state.ready_at[job_id] = barrier
+            if state.rounds_done[job_id] < job.num_rounds:
+                self._wake(
+                    barrier,
+                    KernelEventType.ROUND_BARRIER_OPEN,
+                    (job_id, rounds[-1]),
+                )
+        if commitment.gpu_release is not None:
+            for m, release in commitment.gpu_release.items():
+                state.phi[m] = max(state.phi[m], release)
+        for m, before in enumerate(phi_before):
+            if state.phi[m] > before + KERNEL_EPS:
+                self._wake(state.phi[m], KernelEventType.GPU_FREE, m)
+        self.commitments += 1
+        obs.metrics.counter("kernel.commitments").inc()
+        obs.metrics.histogram("kernel.commit_horizon_s").observe(
+            max(0.0, horizon - state.now)
+        )
+
+    # -- the loop --------------------------------------------------------
+    def run(self) -> KernelResult:
+        obs = obs_current()
+        tracer = obs.tracer
+        state = self.state
+        self.policy.setup(state)
+        invoke_cap = 4 * self.instance.num_jobs + 16
+        while self.queue:
+            if state.complete() and self._pending_faults == 0:
+                break
+            batch = [self.queue.pop()]
+            t = batch[0].time
+            while self.queue and self.queue.peek().time == t:
+                batch.append(self.queue.pop())
+            for event in batch:
+                self.processed += 1
+                if self.processed > self.max_events:
+                    raise SimulationError(
+                        f"kernel event budget {self.max_events} exceeded; "
+                        "likely policy livelock"
+                    )
+                if tracer.enabled:
+                    tracer.instant(
+                        Category.SIM,
+                        event.type.name,
+                        track=KERNEL_TRACK,
+                        time=event.time,
+                    )
+                self._apply_event(event)
+            for event in batch:
+                for _ in range(invoke_cap):
+                    commitments = self.policy.on_event(event, state)
+                    if not commitments:
+                        break
+                    for commitment in commitments:
+                        self._apply_commitment(commitment)
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"policy {self.policy.name!r} did not reach a "
+                        f"fixed point at t={state.now}"
+                    )
+        if not state.complete():
+            raise InfeasibleProblemError(
+                "kernel drained its queue with rounds still uncommitted; "
+                "check the policy"
+            )
+        obs.metrics.counter("kernel.events").inc(self.processed)
+        schedule = state.committed
+        return KernelResult(
+            schedule=schedule,
+            metrics=metrics_from_schedule(schedule),
+            events=self.processed,
+            commitments=self.commitments,
+            replans=int(getattr(self.policy, "replans", 0)),
+            retracted_rounds=self.retracted_rounds,
+        )
+
+
+def run_policy(
+    instance: ProblemInstance,
+    policy: Policy,
+    *,
+    crashes: list[tuple[float, int]] | None = None,
+    restores: list[tuple[float, int]] | None = None,
+    replan_interval: float | None = None,
+    max_events: int | None = None,
+) -> KernelResult:
+    """Build a :class:`SchedulingKernel` for *policy* and run it."""
+    return SchedulingKernel(
+        instance,
+        policy,
+        crashes=crashes,
+        restores=restores,
+        replan_interval=replan_interval,
+        max_events=max_events,
+    ).run()

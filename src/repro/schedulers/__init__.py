@@ -1,5 +1,6 @@
 """Schedulers: Hare's Algorithm 1 and the §7.1 comparison baselines."""
 
+from ..kernel.residual import build_residual_instance
 from .allox import SchedAlloxScheduler
 from .base import (
     HeapTimeline,
@@ -7,17 +8,16 @@ from .base import (
     check_gang_feasible,
     fastest_free_gpus,
     gang_run_job,
-    run_gang_scheduler,
 )
-from .fifo import GavelFifoScheduler
+from .fifo import GavelFifoPolicy, GavelFifoScheduler
 from .hare import (
     AUTO_LP_TASK_LIMIT,
     HareScheduler,
     list_schedule,
     strict_gang_schedule,
 )
-from .homo import SchedHomoScheduler
-from .online import OnlineHareScheduler, build_residual_instance
+from .homo import SchedHomoPolicy, SchedHomoScheduler
+from .online import OnlineHarePolicy, OnlineHareScheduler
 from .optimal import brute_force_optimal
 from .registry import (
     SchemeInfo,
@@ -36,7 +36,7 @@ from .relaxation import (
     RelaxationSolver,
     greedy_assignment,
 )
-from .srtf import SrtfScheduler
+from .srtf import SrtfPolicy, SrtfScheduler
 from .timeslice import TimeSliceScheduler
 
 
@@ -83,16 +83,20 @@ __all__ = [
     "AUTO_LP_TASK_LIMIT",
     "ExactRelaxationSolver",
     "FluidRelaxationSolver",
+    "GavelFifoPolicy",
     "GavelFifoScheduler",
     "HareScheduler",
     "HeapTimeline",
+    "OnlineHarePolicy",
     "OnlineHareScheduler",
     "RelaxationResult",
     "RelaxationSolver",
     "SchedAlloxScheduler",
+    "SchedHomoPolicy",
     "SchedHomoScheduler",
     "Scheduler",
     "SchemeInfo",
+    "SrtfPolicy",
     "SrtfScheduler",
     "TimeSliceScheduler",
     "UnknownSchedulerError",
@@ -110,7 +114,6 @@ __all__ = [
     "info",
     "list_schedule",
     "register",
-    "run_gang_scheduler",
     "scheduler_by_name",
     "schemes",
     "strict_gang_schedule",

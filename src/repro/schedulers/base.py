@@ -1,30 +1,37 @@
-"""Scheduler interface and shared machinery.
+"""Scheduler interface and shared policy helpers.
 
-Every scheme — Hare and the four baselines of §7.1 — is an *offline planner*:
-it receives a :class:`~repro.core.job.ProblemInstance` (jobs with arrival
-times, the ``T^c``/``T^s`` matrices) and emits a full
+Every scheme — Hare and the four baselines of §7.1 — is an *offline
+planner*: it receives a :class:`~repro.core.job.ProblemInstance` (jobs with
+arrival times, the ``T^c``/``T^s`` matrices) and emits a full
 :class:`~repro.core.schedule.Schedule`. Baselines that are conceptually
 online (FIFO, SRTF, AlloX) respect causality internally: every decision at
 virtual time ``t`` uses only jobs with ``a_n <= t``.
 
-The gang-execution helpers here are shared by the three baselines that give
-each job exclusive GPUs for its whole lifetime (Gavel_FIFO, SRTF,
-Sched_Homo): a job with sync scale ``s`` waits for ``s`` simultaneously free
-GPUs, pins one task per GPU per round, and releases the GPUs only at job
-completion (job-level non-preemption, as those systems enforce).
+Execution over time is the job of :mod:`repro.kernel`: every scheduler can
+produce an incremental kernel policy through :meth:`Scheduler.make_policy`
+(by default a clairvoyant :class:`~repro.kernel.policies.PlannedPolicy`
+over this planner; event-driven schemes override it with a native
+policy). The virtual-time gang loop that used to live here
+(``run_gang_scheduler``/``GangState``) is gone — the gang baselines now
+run on the kernel — while the helpers gang policies share
+(:func:`check_gang_feasible`, :func:`gang_run_job`,
+:class:`ObliviousPicker`, :func:`fastest_free_gpus`,
+:class:`HeapTimeline`) remain here.
 """
 
 from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.errors import InfeasibleProblemError
 from ..core.job import Job, ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernel.policies import Policy
 
 
 class Scheduler(ABC):
@@ -36,6 +43,18 @@ class Scheduler(ABC):
     @abstractmethod
     def schedule(self, instance: ProblemInstance) -> Schedule:
         """Produce a schedule satisfying constraints (4)-(8)."""
+
+    def make_policy(self, instance: ProblemInstance) -> "Policy":
+        """This scheme as an incremental :mod:`repro.kernel` policy.
+
+        The default adapts the offline planner clairvoyantly (solve once
+        at t=0, release rounds as their predecessors complete), which
+        realizes exactly the offline metrics. Event-driven schemes
+        override this with a native policy.
+        """
+        from ..kernel.policies import PlannedPolicy
+
+        return PlannedPolicy(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -85,84 +104,6 @@ def gang_run_job(
             )
         t += round_time
     return t
-
-
-@dataclass(slots=True)
-class GangState:
-    """Virtual-time state of an event-driven gang scheduler."""
-
-    instance: ProblemInstance
-    #: per-GPU time at which the device becomes free
-    gpu_free: list[float] = field(default_factory=list)
-    #: job ids not yet started
-    waiting: set[int] = field(default_factory=set)
-
-    def __post_init__(self) -> None:
-        self.gpu_free = [0.0] * self.instance.num_gpus
-        self.waiting = {j.job_id for j in self.instance.jobs}
-
-    def free_gpus(self, t: float) -> list[int]:
-        return [m for m, ft in enumerate(self.gpu_free) if ft <= t + 1e-12]
-
-    def arrived_waiting(self, t: float) -> list[int]:
-        return sorted(
-            n for n in self.waiting
-            if self.instance.jobs[n].arrival <= t + 1e-12
-        )
-
-    def next_event_after(self, t: float) -> float | None:
-        """Earliest future time a GPU frees or a waiting job arrives."""
-        candidates = [ft for ft in self.gpu_free if ft > t + 1e-12]
-        candidates += [
-            self.instance.jobs[n].arrival
-            for n in self.waiting
-            if self.instance.jobs[n].arrival > t + 1e-12
-        ]
-        return min(candidates) if candidates else None
-
-
-#: A gang policy inspects (state, time, runnable job ids, free gpus) and
-#: returns (job_id, chosen gpus) to start now, or None to wait.
-GangPolicy = Callable[
-    [GangState, float, list[int], list[int]], tuple[int, list[int]] | None
-]
-
-
-def run_gang_scheduler(
-    instance: ProblemInstance, policy: GangPolicy
-) -> Schedule:
-    """Drive a gang policy over virtual time until every job is scheduled."""
-    check_gang_feasible(instance)
-    schedule = Schedule(instance)
-    state = GangState(instance)
-    t = 0.0
-    guard = 0
-    max_iters = 4 * len(instance.jobs) * max(instance.num_gpus, 1) + 64
-    while state.waiting:
-        guard += 1
-        if guard > max_iters:  # pragma: no cover - defensive
-            raise InfeasibleProblemError(
-                "gang scheduler failed to make progress; check the policy"
-            )
-        runnable = state.arrived_waiting(t)
-        free = state.free_gpus(t)
-        decision = policy(state, t, runnable, free) if runnable else None
-        if decision is not None:
-            job_id, gpus = decision
-            job = instance.jobs[job_id]
-            start = max(t, job.arrival)
-            completion = gang_run_job(schedule, instance, job, gpus, start)
-            for m in gpus:
-                state.gpu_free[m] = completion
-            state.waiting.discard(job_id)
-            continue
-        nxt = state.next_event_after(t)
-        if nxt is None:
-            raise InfeasibleProblemError(
-                "no future events but jobs remain unscheduled"
-            )  # pragma: no cover - defensive
-        t = nxt
-    return schedule
 
 
 class ObliviousPicker:

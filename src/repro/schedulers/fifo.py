@@ -5,19 +5,40 @@ does: a starting job takes the *fastest* currently-free GPUs for itself. If
 fewer than ``sync_scale`` GPUs are free the job waits — and, being FIFO,
 blocks everything behind it (no backfilling), which is why the paper finds
 it has "the largest weighted JCT" despite heterogeneity awareness.
+
+The decision rule lives in :class:`GavelFifoPolicy`, a native
+:class:`repro.kernel.GangPolicy`; :meth:`GavelFifoScheduler.schedule` is
+the offline view — it drives the same policy through the kernel with all
+arrivals known.
 """
 
 from __future__ import annotations
 
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule
-from .base import (
-    GangState,
-    Scheduler,
-    fastest_free_gpus,
-    run_gang_scheduler,
-)
+from ..kernel.policies import GangPolicy
+from ..kernel.runner import run_policy
+from ..kernel.state import KernelState
+from .base import Scheduler, fastest_free_gpus
 from .registry import register
+
+
+class GavelFifoPolicy(GangPolicy):
+    """Head-of-line FIFO: only the earliest-arrived waiting job may start."""
+
+    name = "Gavel_FIFO"
+
+    def select(
+        self, state: KernelState, runnable: list[int], free: list[int]
+    ) -> tuple[int, list[int]] | None:
+        instance = state.instance
+        # Head of line = earliest arrival (ties: lowest id). Only the
+        # head may start; if it does not fit, everyone waits.
+        head = min(runnable, key=lambda n: (instance.jobs[n].arrival, n))
+        need = instance.jobs[head].sync_scale
+        if len(free) < need:
+            return None
+        return head, fastest_free_gpus(instance, head, free, need)
 
 
 @register("gavel_fifo", summary="FIFO gang scheduling, no backfill")
@@ -26,18 +47,8 @@ class GavelFifoScheduler(Scheduler):
 
     name = "Gavel_FIFO"
 
-    def schedule(self, instance: ProblemInstance) -> Schedule:
-        def policy(
-            state: GangState, t: float, runnable: list[int], free: list[int]
-        ) -> tuple[int, list[int]] | None:
-            # Head of line = earliest arrival (ties: lowest id). Only the
-            # head may start; if it does not fit, everyone waits.
-            head = min(
-                runnable, key=lambda n: (instance.jobs[n].arrival, n)
-            )
-            need = instance.jobs[head].sync_scale
-            if len(free) < need:
-                return None
-            return head, fastest_free_gpus(instance, head, free, need)
+    def make_policy(self, instance: ProblemInstance) -> GavelFifoPolicy:
+        return GavelFifoPolicy()
 
-        return run_gang_scheduler(instance, policy)
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        return run_policy(instance, self.make_policy(instance)).schedule

@@ -15,6 +15,10 @@ paper runs — its two blind spots are:
 Each round still synchronizes at the pace of the slowest assigned GPU, so
 mixed gangs waste the fast devices (Fig. 5/6) — the behaviour that makes
 this baseline lose to Hare most at high heterogeneity (Fig. 16).
+
+:class:`SchedHomoPolicy` is the native :class:`repro.kernel.GangPolicy`;
+:meth:`SchedHomoScheduler.schedule` drives it through the kernel with all
+arrivals known.
 """
 
 from __future__ import annotations
@@ -23,8 +27,59 @@ import numpy as np
 
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule
-from .base import GangState, ObliviousPicker, Scheduler, run_gang_scheduler
+from ..kernel.policies import GangPolicy
+from ..kernel.runner import run_policy
+from ..kernel.state import KernelState
+from .base import ObliviousPicker, Scheduler
 from .registry import register
+
+
+class SchedHomoPolicy(GangPolicy):
+    """Weighted-SPT ordering over cluster-average runtime estimates."""
+
+    name = "Sched_Homo"
+
+    def __init__(self) -> None:
+        self._picker = ObliviousPicker()
+        self._est_total: np.ndarray | None = None
+
+    def setup(self, state: KernelState) -> None:
+        super().setup(state)
+        instance = state.instance
+        # Homogeneous-world estimate of a job's total processing time: the
+        # cluster-average round time, times the number of rounds.
+        avg_round = np.mean(
+            instance.train_time + instance.sync_time, axis=1
+        )
+        self._est_total = np.array(
+            [
+                instance.jobs[n].num_rounds * avg_round[n]
+                for n in range(instance.num_jobs)
+            ]
+        )
+
+    def _wspt_key(
+        self, state: KernelState, job_id: int
+    ) -> tuple[float, int]:
+        job = state.instance.jobs[job_id]
+        est_total = self._est_total
+        assert est_total is not None
+        # Smallest processing-per-weight first (classic WSPT ordering).
+        return (est_total[job_id] / job.weight, job_id)
+
+    def select(
+        self, state: KernelState, runnable: list[int], free: list[int]
+    ) -> tuple[int, list[int]] | None:
+        instance = state.instance
+        fitting = [
+            n for n in runnable
+            if instance.jobs[n].sync_scale <= len(free)
+        ]
+        if not fitting:
+            return None
+        best = min(fitting, key=lambda n: self._wspt_key(state, n))
+        need = instance.jobs[best].sync_scale
+        return best, self._picker.pick(free, need)
 
 
 @register("sched_homo", summary="Weighted-SPT gang, heterogeneity-oblivious")
@@ -33,36 +88,8 @@ class SchedHomoScheduler(Scheduler):
 
     name = "Sched_Homo"
 
+    def make_policy(self, instance: ProblemInstance) -> SchedHomoPolicy:
+        return SchedHomoPolicy()
+
     def schedule(self, instance: ProblemInstance) -> Schedule:
-        picker = ObliviousPicker()
-        # Homogeneous-world estimate of a job's total processing time: the
-        # cluster-average round time, times the number of rounds.
-        avg_round = np.mean(
-            instance.train_time + instance.sync_time, axis=1
-        )
-        est_total = np.array(
-            [
-                instance.jobs[n].num_rounds * avg_round[n]
-                for n in range(instance.num_jobs)
-            ]
-        )
-
-        def wspt_key(job_id: int) -> tuple[float, int]:
-            job = instance.jobs[job_id]
-            # Smallest processing-per-weight first (classic WSPT ordering).
-            return (est_total[job_id] / job.weight, job_id)
-
-        def policy(
-            state: GangState, t: float, runnable: list[int], free: list[int]
-        ) -> tuple[int, list[int]] | None:
-            fitting = [
-                n for n in runnable
-                if instance.jobs[n].sync_scale <= len(free)
-            ]
-            if not fitting:
-                return None
-            best = min(fitting, key=wspt_key)
-            need = instance.jobs[best].sync_scale
-            return best, picker.pick(free, need)
-
-        return run_gang_scheduler(instance, policy)
+        return run_policy(instance, self.make_policy(instance)).schedule

@@ -3,99 +3,50 @@
 The paper's Algorithm 1 is offline: it sees every job's arrival time in
 advance, which §1 lists as a limitation ("jobs arrive in different time and
 we cannot accurately predict future job arrivals. Online algorithms are
-needed"). This module implements the natural event-driven extension:
+needed"). :class:`OnlineHarePolicy` is the natural event-driven extension,
+running natively on :mod:`repro.kernel`:
 
-* the scheduler re-plans at every job arrival, seeing only the jobs that
-  have arrived so far;
-* at each re-planning event it solves the relaxation over the *remaining*
-  rounds of known jobs (committed work is fixed), list-schedules them from
-  the GPUs' committed availability, and **commits only the rounds that
-  start before the next arrival** — everything later is provisional and
-  will be reconsidered when new information (the next job) lands;
+* the policy re-plans at every job arrival (and at GPU crash/restore and
+  ``REPLAN_TIMER`` wake-ups), seeing only the jobs that have arrived;
+* each re-plan solves the relaxation over the *remaining* rounds of known
+  jobs (committed work is fixed) — residual construction and the
+  relaxation solve are cached/memoized by the kernel's
+  :class:`~repro.kernel.residual.ResidualPlanner` — list-schedules them
+  from the GPUs' committed availability, and **commits only the rounds
+  that start before the next arrival**; everything later is provisional
+  and will be reconsidered when new information lands;
 * at the final arrival the whole residual plan is committed.
 
 Commitment is at round granularity: once any task of a round is committed
 the whole round is (rounds are short; this keeps the residual problem a
 clean :class:`ProblemInstance`). The result is a complete, feasible
-schedule that was produced without ever using future-arrival knowledge —
-directly comparable against offline Hare to price clairvoyance.
+schedule produced without future-arrival knowledge — directly comparable
+against offline Hare to price clairvoyance.
+
+:class:`OnlineHareScheduler` remains as a thin deprecated shim driving the
+policy through the kernel, as does the old ``build_residual_instance``
+import path (it moved to :mod:`repro.kernel.residual`).
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from ..core.errors import SolverError
 from ..core.job import Job, ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
+from ..kernel.events import Event, KernelEventType
+from ..kernel.residual import (
+    ResidualPlanner,
+    build_residual_instance as _build_residual_instance,
+)
+from ..kernel.runner import run_policy
+from ..kernel.state import Commitment, KernelState
+from ..obs import current as obs_current
 from .base import Scheduler
-
-
-def build_residual_instance(
-    instance: ProblemInstance,
-    jobs: list[Job],
-    rounds_done: dict[int, int],
-    ready_at: dict[int, float],
-    *,
-    gpu_subset: list[int] | None = None,
-) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
-    """The residual problem: remaining rounds of *jobs*, optionally on a
-    GPU subset.
-
-    Each job with rounds left becomes a locally re-indexed job whose
-    arrival is when its next round may start (its last committed barrier,
-    or its recovery-readiness time after a checkpoint restore). Returns the
-    residual instance (``None`` if nothing remains) and the local → global
-    map ``[(global_job_id, round_offset), ...]``.
-
-    ``gpu_subset`` restricts the time matrices to the given (global) GPU
-    columns — the fault-recovery path passes the surviving GPUs here, the
-    online scheduler keeps the full cluster.
-    """
-    residual_jobs: list[Job] = []
-    id_map: list[tuple[int, int]] = []
-    for job in jobs:
-        done = rounds_done[job.job_id]
-        remaining = job.num_rounds - done
-        if remaining <= 0:
-            continue
-        local_id = len(residual_jobs)
-        residual_jobs.append(
-            Job(
-                job_id=local_id,
-                model=job.model,
-                arrival=max(ready_at[job.job_id], job.arrival),
-                weight=job.weight,
-                num_rounds=remaining,
-                sync_scale=job.sync_scale,
-                batch_scale=job.batch_scale,
-            )
-        )
-        id_map.append((job.job_id, done))
-    if not residual_jobs:
-        return None, []
-    globals_ = [g for g, _ in id_map]
-    if gpu_subset is None:
-        train = instance.train_time[globals_]
-        sync = instance.sync_time[globals_]
-        labels = list(instance.gpu_labels)
-    else:
-        cols = np.ix_(globals_, gpu_subset)
-        train = instance.train_time[cols]
-        sync = instance.sync_time[cols]
-        labels = [instance.gpu_labels[m] for m in gpu_subset]
-    return (
-        ProblemInstance(
-            jobs=residual_jobs,
-            train_time=train,
-            sync_time=sync,
-            gpu_labels=labels,
-        ),
-        id_map,
-    )
 from .hare import (
     AUTO_LP_TASK_LIMIT,
     Placement,
@@ -109,17 +60,60 @@ from .relaxation import (
     RelaxationSolver,
 )
 
+#: Events that trigger a re-planning pass.
+REPLAN_EVENTS = frozenset(
+    {
+        KernelEventType.JOB_ARRIVED,
+        KernelEventType.GPU_CRASHED,
+        KernelEventType.GPU_RESTORED,
+        KernelEventType.REPLAN_TIMER,
+    }
+)
 
-@register("hare_online", summary="Event-driven re-planning Hare (online)")
-@dataclass(slots=True)
-class OnlineHareScheduler(Scheduler):
-    """Event-driven re-planning Hare without future-arrival knowledge."""
 
-    relaxation: str | RelaxationSolver = "fluid"
-    placement: Placement = "earliest_finish"
-    name: str = field(default="Hare_Online", init=False)
-    #: Number of re-planning events performed in the last run.
-    replans: int = field(default=0, init=False)
+def build_residual_instance(
+    instance: ProblemInstance,
+    jobs: list[Job],
+    rounds_done: dict[int, int],
+    ready_at: dict[int, float],
+    *,
+    gpu_subset: list[int] | None = None,
+) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
+    """Deprecated import path: moved to
+    :func:`repro.kernel.residual.build_residual_instance`."""
+    warnings.warn(
+        "repro.schedulers.online.build_residual_instance moved to "
+        "repro.kernel.residual.build_residual_instance; import it from "
+        "there",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_residual_instance(
+        instance, jobs, rounds_done, ready_at, gpu_subset=gpu_subset
+    )
+
+
+class OnlineHarePolicy:
+    """Event-driven re-planning Hare without future-arrival knowledge.
+
+    A native :class:`repro.kernel.Policy`: re-plans once per distinct
+    wake-up time (the kernel batches simultaneous arrivals, so one pass
+    sees them all) and commits provisionally up to the next arrival.
+    """
+
+    name = "Hare_Online"
+
+    def __init__(
+        self,
+        relaxation: str | RelaxationSolver = "fluid",
+        placement: Placement = "earliest_finish",
+    ) -> None:
+        self.relaxation = relaxation
+        self.placement = placement
+        #: Re-planning passes performed so far (read by the kernel result).
+        self.replans = 0
+        self._last_replan: float | None = None
+        self._planner: ResidualPlanner | None = None
 
     def _solver(self, instance: ProblemInstance) -> RelaxationSolver:
         if not isinstance(self.relaxation, str):
@@ -134,60 +128,62 @@ class OnlineHareScheduler(Scheduler):
             return FluidRelaxationSolver()
         raise SolverError(f"unknown relaxation {self.relaxation!r}")
 
-    # ------------------------------------------------------------------
-    def schedule(self, instance: ProblemInstance) -> Schedule:
-        committed = Schedule(instance)
-        num_gpus = instance.num_gpus
-        phi = [0.0] * num_gpus
-        #: rounds already committed per job, and the barrier they left
-        rounds_done = {j.job_id: 0 for j in instance.jobs}
-        ready_at = {j.job_id: j.arrival for j in instance.jobs}
-
-        arrival_times = sorted({j.arrival for j in instance.jobs})
+    # -- Policy protocol -------------------------------------------------
+    def setup(self, state: KernelState) -> None:
         self.replans = 0
-        for k, t in enumerate(arrival_times):
-            is_last = k == len(arrival_times) - 1
-            next_t = np.inf if is_last else arrival_times[k + 1]
-            known = [j for j in instance.jobs if j.arrival <= t + 1e-12]
-            residual, id_map = build_residual_instance(
-                instance, known, rounds_done, ready_at
-            )
-            if residual is None:
-                continue
-            relaxation = self._solver(residual).solve(residual)
-            order = _precedence_safe_order(residual, relaxation)
-            plan = list_schedule(
-                residual,
-                order,
-                placement=self.placement,
-                initial_phi=phi,
-            )
-            self.replans += 1
-            self._commit(
-                plan, residual, id_map, next_t, committed, phi,
-                rounds_done, ready_at,
-            )
+        self._last_replan = None
+        self._planner = ResidualPlanner(state.instance)
 
-        if len(committed) != instance.num_tasks:  # pragma: no cover
-            raise SolverError(
-                f"online scheduler committed {len(committed)} of "
-                f"{instance.num_tasks} tasks"
-            )
-        return committed
+    def on_event(
+        self, event: Event, state: KernelState
+    ) -> list[Commitment]:
+        if event.type not in REPLAN_EVENTS:
+            return []
+        if self._last_replan is not None and state.now == self._last_replan:
+            return []  # one pass per distinct wake-up time
+        planner = self._planner
+        assert planner is not None
+        known = state.known_jobs()
+        all_alive = len(state.alive) == state.instance.num_gpus
+        gpu_subset = None if all_alive else sorted(state.alive)
+        residual, id_map = planner.residual(
+            known, state.rounds_done, state.ready_at, gpu_subset=gpu_subset
+        )
+        if residual is None:
+            return []
+        relaxation = planner.solve_relaxation(
+            self._solver(residual), residual
+        )
+        order = _precedence_safe_order(residual, relaxation)
+        initial_phi = (
+            list(state.phi)
+            if gpu_subset is None
+            else [state.phi[m] for m in gpu_subset]
+        )
+        plan = list_schedule(
+            residual, order, placement=self.placement,
+            initial_phi=initial_phi,
+        )
+        self._last_replan = state.now
+        self.replans += 1
+        obs_current().metrics.counter("kernel.replans").inc()
+        next_arrival = state.next_arrival_time()
+        next_t = math.inf if next_arrival is None else next_arrival
+        return self._commitments(
+            plan, residual, id_map, gpu_subset, next_t
+        )
 
     # ------------------------------------------------------------------
-    def _commit(
+    def _commitments(
         self,
         plan: Schedule,
         residual: ProblemInstance,
         id_map: list[tuple[int, int]],
+        gpu_subset: list[int] | None,
         next_t: float,
-        committed: Schedule,
-        phi: list[float],
-        rounds_done: dict[int, int],
-        ready_at: dict[int, float],
-    ) -> None:
-        """Fix every residual round that starts before *next_t*."""
+    ) -> list[Commitment]:
+        """One commitment per residual round that starts before *next_t*."""
+        out: list[Commitment] = []
         for local_job in residual.jobs:
             global_id, round_offset = id_map[local_job.job_id]
             for r in range(local_job.num_rounds):
@@ -195,22 +191,62 @@ class OnlineHareScheduler(Scheduler):
                 starts = [plan[task].start for task in tasks]
                 if min(starts) >= next_t - 1e-12:
                     break  # later rounds are provisional
-                barrier = 0.0
+                assignments = []
                 for task in tasks:
                     a = plan[task]
-                    global_task = TaskRef(
-                        global_id, round_offset + r, task.slot
+                    gpu = (
+                        a.gpu if gpu_subset is None else gpu_subset[a.gpu]
                     )
-                    committed.add(
+                    assignments.append(
                         TaskAssignment(
-                            task=global_task,
-                            gpu=a.gpu,
+                            task=TaskRef(
+                                global_id, round_offset + r, task.slot
+                            ),
+                            gpu=gpu,
                             start=a.start,
                             train_time=a.train_time,
                             sync_time=a.sync_time,
                         )
                     )
-                    phi[a.gpu] = max(phi[a.gpu], a.compute_end)
-                    barrier = max(barrier, a.end)
-                rounds_done[global_id] += 1
-                ready_at[global_id] = barrier
+                out.append(Commitment(assignments=tuple(assignments)))
+        return out
+
+
+@register("hare_online", summary="Event-driven re-planning Hare (online)")
+@dataclass(slots=True)
+class OnlineHareScheduler(Scheduler):
+    """Deprecated shim: drive :class:`OnlineHarePolicy` through the kernel.
+
+    Prefer ``repro.api.run_experiment(..., arrivals="streaming")`` or
+    :func:`repro.kernel.run_policy` with :meth:`make_policy` directly.
+    """
+
+    relaxation: str | RelaxationSolver = "fluid"
+    placement: Placement = "earliest_finish"
+    name: str = field(default="Hare_Online", init=False)
+    #: Number of re-planning events performed in the last run.
+    replans: int = field(default=0, init=False)
+
+    def make_policy(self, instance: ProblemInstance) -> OnlineHarePolicy:
+        return OnlineHarePolicy(
+            relaxation=self.relaxation, placement=self.placement
+        )
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        warnings.warn(
+            "OnlineHareScheduler.schedule() is a deprecated shim over "
+            "repro.kernel; use run_policy(instance, "
+            "scheduler.make_policy(instance)) or the api's "
+            "arrivals='streaming' mode",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        policy = self.make_policy(instance)
+        result = run_policy(instance, policy)
+        self.replans = policy.replans
+        if len(result.schedule) != instance.num_tasks:  # pragma: no cover
+            raise SolverError(
+                f"online scheduler committed {len(result.schedule)} of "
+                f"{instance.num_tasks} tasks"
+            )
+        return result.schedule

@@ -13,6 +13,10 @@ systems avoid), so "remaining" equals "total" for every queued job.
 Unlike FIFO there is no head-of-line blocking: if the shortest job needs
 more GPUs than are free, the next-shortest job that fits may start
 (shortest-first backfilling).
+
+:class:`SrtfPolicy` is the native :class:`repro.kernel.GangPolicy`;
+:meth:`SrtfScheduler.schedule` drives it through the kernel with all
+arrivals known.
 """
 
 from __future__ import annotations
@@ -21,8 +25,50 @@ import numpy as np
 
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule
-from .base import GangState, ObliviousPicker, Scheduler, run_gang_scheduler
+from ..kernel.policies import GangPolicy
+from ..kernel.runner import run_policy
+from ..kernel.state import KernelState
+from .base import ObliviousPicker, Scheduler
 from .registry import register
+
+
+class SrtfPolicy(GangPolicy):
+    """Shortest-estimated-total first with shortest-first backfilling."""
+
+    name = "SRTF"
+
+    def __init__(self) -> None:
+        self._picker = ObliviousPicker()
+        self._est_total: np.ndarray | None = None
+
+    def setup(self, state: KernelState) -> None:
+        super().setup(state)
+        instance = state.instance
+        avg_round = np.mean(
+            instance.train_time + instance.sync_time, axis=1
+        )
+        self._est_total = np.array(
+            [
+                instance.jobs[n].num_rounds * avg_round[n]
+                for n in range(instance.num_jobs)
+            ]
+        )
+
+    def select(
+        self, state: KernelState, runnable: list[int], free: list[int]
+    ) -> tuple[int, list[int]] | None:
+        instance = state.instance
+        est_total = self._est_total
+        assert est_total is not None
+        fitting = [
+            n for n in runnable
+            if instance.jobs[n].sync_scale <= len(free)
+        ]
+        if not fitting:
+            return None
+        best = min(fitting, key=lambda n: (est_total[n], n))
+        need = instance.jobs[best].sync_scale
+        return best, self._picker.pick(free, need)
 
 
 @register("srtf", summary="Shortest-remaining-time-first gang execution")
@@ -31,27 +77,8 @@ class SrtfScheduler(Scheduler):
 
     name = "SRTF"
 
+    def make_policy(self, instance: ProblemInstance) -> SrtfPolicy:
+        return SrtfPolicy()
+
     def schedule(self, instance: ProblemInstance) -> Schedule:
-        picker = ObliviousPicker()
-        avg_round = np.mean(instance.train_time + instance.sync_time, axis=1)
-        est_total = np.array(
-            [
-                instance.jobs[n].num_rounds * avg_round[n]
-                for n in range(instance.num_jobs)
-            ]
-        )
-
-        def policy(
-            state: GangState, t: float, runnable: list[int], free: list[int]
-        ) -> tuple[int, list[int]] | None:
-            fitting = [
-                n for n in runnable
-                if instance.jobs[n].sync_scale <= len(free)
-            ]
-            if not fitting:
-                return None
-            best = min(fitting, key=lambda n: (est_total[n], n))
-            need = instance.jobs[best].sync_scale
-            return best, picker.pick(free, need)
-
-        return run_gang_scheduler(instance, policy)
+        return run_policy(instance, self.make_policy(instance)).schedule

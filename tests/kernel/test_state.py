@@ -1,0 +1,106 @@
+"""KernelState views and the round-granular commitment contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Job, ProblemInstance, SimulationError
+from repro.core.schedule import TaskAssignment
+from repro.core.types import TaskRef
+from repro.kernel import Commitment, KernelState
+
+
+@pytest.fixture
+def inst() -> ProblemInstance:
+    jobs = [
+        Job(job_id=0, model="a", num_rounds=2, sync_scale=2),
+        Job(job_id=1, model="b", num_rounds=1, sync_scale=1, arrival=1.5),
+    ]
+    tc = np.array([[1.0, 2.0, 1.0], [1.0, 1.0, 1.0]])
+    ts = np.zeros((2, 3))
+    return ProblemInstance(jobs=jobs, train_time=tc, sync_time=ts)
+
+
+def round_assignments(inst, job_id, round_idx, gpus, start=0.0):
+    job = inst.jobs[job_id]
+    return tuple(
+        TaskAssignment(
+            task=TaskRef(job_id, round_idx, slot),
+            gpu=m,
+            start=start,
+            train_time=inst.tc(job_id, m),
+            sync_time=inst.ts(job_id, m),
+        )
+        for slot, m in zip(range(job.sync_scale), gpus)
+    )
+
+
+class TestViews:
+    def test_initial_state(self, inst):
+        state = KernelState(inst)
+        assert state.phi == [0.0, 0.0, 0.0]
+        assert state.arrived == set()
+        assert state.rounds_done == {0: 0, 1: 0}
+        assert state.ready_at == {0: 0.0, 1: 1.5}
+        assert state.alive == {0, 1, 2}
+        assert state.pending_arrivals == [0.0, 1.5]
+        assert not state.complete()
+
+    def test_known_and_unstarted_track_arrivals(self, inst):
+        state = KernelState(inst)
+        assert state.known_jobs() == []
+        state.arrived.add(1)
+        assert [j.job_id for j in state.known_jobs()] == [1]
+        assert state.unstarted() == [1]
+        state.rounds_done[1] = 1
+        assert state.unstarted() == []
+
+    def test_free_gpus_respects_phi_and_liveness(self, inst):
+        state = KernelState(inst)
+        state.now = 1.0
+        state.phi = [0.5, 1.0, 2.0]
+        assert state.free_gpus() == [0, 1]
+        state.alive.discard(0)
+        assert state.free_gpus() == [1]
+
+    def test_next_arrival_time(self, inst):
+        state = KernelState(inst)
+        assert state.next_arrival_time() == 0.0
+        state.pending_arrivals = [1.5]
+        assert state.next_arrival_time() == 1.5
+        state.pending_arrivals = []
+        assert state.next_arrival_time() is None
+
+    def test_remaining_rounds_and_complete(self, inst):
+        state = KernelState(inst)
+        state.rounds_done = {0: 2, 1: 1}
+        assert state.remaining_rounds(0) == 0
+        assert state.complete()
+
+
+class TestCheckCommitment:
+    def test_full_round_in_order_passes(self, inst):
+        state = KernelState(inst)
+        c = Commitment(round_assignments(inst, 0, 0, [0, 1]))
+        state.check_commitment(c)  # does not raise
+
+    def test_partial_round_rejected(self, inst):
+        state = KernelState(inst)
+        full = round_assignments(inst, 0, 0, [0, 1])
+        with pytest.raises(SimulationError, match="1/2 tasks"):
+            state.check_commitment(Commitment(full[:1]))
+
+    def test_out_of_order_round_rejected(self, inst):
+        state = KernelState(inst)
+        c = Commitment(round_assignments(inst, 0, 1, [0, 1]))
+        with pytest.raises(SimulationError, match="do not extend"):
+            state.check_commitment(c)
+
+    def test_multi_round_prefix_accepted(self, inst):
+        state = KernelState(inst)
+        c = Commitment(
+            round_assignments(inst, 0, 0, [0, 1])
+            + round_assignments(inst, 0, 1, [0, 1], start=1.0)
+        )
+        state.check_commitment(c)

@@ -181,3 +181,51 @@ class TestGoldenTrace:
         for volatile in ("created_at", "metrics", "trace"):
             loaded.pop(volatile), other.pop(volatile)
         assert loaded == other
+
+
+class TestStreamingArrivals:
+    """``arrivals="streaming"`` drives schemes through repro.kernel."""
+
+    def test_kernel_result_populated(self):
+        result = run_experiment(
+            scheduler="hare", arrivals="streaming", **SMALL
+        )
+        assert result.kernel is not None
+        assert result.kernel.events > 0
+        assert result.kernel.commitments > 0
+        assert result.config["arrivals"] == "streaming"
+
+    def test_planned_mode_has_no_kernel_result(self, hare_run):
+        assert hare_run.kernel is None
+        assert hare_run.config["arrivals"] == "planned"
+
+    def test_streaming_metrics_match_planned_for_offline_scheme(
+        self, hare_run
+    ):
+        streamed = run_experiment(
+            scheduler="hare", arrivals="streaming", **SMALL
+        )
+        assert (
+            abs(streamed.weighted_jct - hare_run.weighted_jct) < 1e-9
+        )
+
+    def test_online_hare_streams_natively(self):
+        result = run_experiment(
+            scheduler="hare_online", arrivals="streaming", **SMALL
+        )
+        assert result.kernel is not None
+        assert result.kernel.replans >= 1
+
+    def test_compare_streaming(self):
+        comparison = compare(
+            schedulers=["gavel_fifo", "hare"],
+            arrivals="streaming",
+            **SMALL,
+        )
+        for r in comparison:
+            assert r.kernel is not None
+        assert comparison.config["arrivals"] == "streaming"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(Exception, match="arrivals"):
+            run_experiment(scheduler="hare", arrivals="later", **SMALL)
