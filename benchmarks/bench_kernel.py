@@ -75,6 +75,44 @@ def bench_one(instance, policy_factory) -> dict:
     }
 
 
+def bench_recorder_overhead(instance, policy_factory, *, repeats: int = 7) -> dict:
+    """Flight-recorder tax on kernel event throughput.
+
+    Runs the same workload with tracing off and the recorder off/on,
+    taking the best wall time of *repeats* for each arm, and reports
+    ``overhead_frac`` — the relative events/sec drop with the recorder
+    enabled. ``repro check`` holds this under a hard 15 % limit.
+    """
+
+    def best_run(record: bool) -> tuple[float, object, int]:
+        best_wall, best_result, records = float("inf"), None, 0
+        # Warm-up pass absorbs first-call JIT/cache effects of either arm.
+        with use(Obs.start(trace=False, record=record)):
+            run_policy(instance, policy_factory())
+        for _ in range(repeats):
+            with use(Obs.start(trace=False, record=record)) as obs:
+                t0 = time.perf_counter()
+                result = run_policy(instance, policy_factory())
+                wall_s = time.perf_counter() - t0
+                if wall_s < best_wall:
+                    best_wall, best_result = wall_s, result
+                    records = (
+                        obs.recorder.seen if obs.recorder is not None else 0
+                    )
+        return best_wall, best_result, records
+
+    wall_off, result_off, _ = best_run(False)
+    wall_on, result_on, records = best_run(True)
+    eps_off = result_off.events / wall_off if wall_off > 0 else 0.0
+    eps_on = result_on.events / wall_on if wall_on > 0 else 0.0
+    return {
+        "events_per_sec_off": eps_off,
+        "events_per_sec_on": eps_on,
+        "overhead_frac": max(0.0, 1.0 - eps_on / eps_off) if eps_off > 0 else 0.0,
+        "records": records,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=24)
@@ -105,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
             lambda: PlannedPolicy(HareScheduler(relaxation="fluid")),
         ),
         "online_hare": bench_one(
+            instance, lambda: OnlineHarePolicy(relaxation="fluid")
+        ),
+        "recorder_overhead": bench_recorder_overhead(
             instance, lambda: OnlineHarePolicy(relaxation="fluid")
         ),
     }

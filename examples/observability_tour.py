@@ -13,14 +13,28 @@ prints what was captured, and exports the two artifacts:
 * ``run.json`` — the machine-readable manifest (config, seed, headline
   results, full metrics snapshot).
 
+It then tours the analysis stack on top of the raw events:
+
+* the **flight recorder** — a bounded ring of normalized records you can
+  query and dump to JSONL (``repro record`` / ``repro replay``);
+* the **streaming monitors** — online invariant checkers that watch the
+  event stream and grade findings (a deliberately corrupted schedule
+  trips the GPU double-booking invariant);
+* the **baseline engine** — direction-aware tolerance bands over the
+  metrics snapshot (``repro check --baseline``), which CI uses to gate
+  on kernel-bench drift.
+
 Run:  python examples/observability_tour.py
 """
 
+import dataclasses
 import tempfile
 from pathlib import Path
 
 from repro.api import run_experiment
 from repro.harness import render_table
+from repro.obs import diagnose_schedule, read_baseline
+from repro.obs.baseline import compare_snapshots, flatten_metrics
 
 
 def main() -> None:
@@ -76,6 +90,65 @@ def main() -> None:
     print(f"\nTrace written to    {trace_path}")
     print("  -> drag it into https://ui.perfetto.dev")
     print(f"Manifest written to {manifest_path}")
+
+    # ------------------------------------------------------------------
+    # Flight recorder: the same run with a bounded ring of normalized
+    # records attached, plus the streaming invariant monitors.
+    # ------------------------------------------------------------------
+    print("\n== Flight recorder + streaming monitors ==")
+    recorded = run_experiment(
+        gpus=8, jobs=10, scheduler="hare", seed=7, rounds_scale=0.1,
+        trace=False, record=True, monitors=True,
+    )
+    recorder = recorded.obs.recorder
+    print(f"recorded {recorder.seen} events ({recorder.dropped} dropped)")
+    stats = recorder.span_stats(category="sim", track="gpu/*")
+    print(
+        f"compute spans: {stats['count']} totalling {stats['total_s']:.1f} s "
+        f"(mean {stats['mean_s'] * 1e3:.1f} ms)"
+    )
+    barriers = recorder.query(kind="instant", name="barrier*", limit=3)
+    for rec in barriers:
+        print(f"  {rec.track} t={rec.time:.3f} {rec.name}")
+    print(recorded.diagnosis.summary())
+    log_path = recorded.write_flight_log(out / "flight.jsonl")
+    print(f"flight log written to {log_path}")
+    print("  -> inspect with: repro replay", log_path.name, "--monitors")
+
+    # ------------------------------------------------------------------
+    # Monitors on a *broken* schedule: clone one task assignment onto
+    # another task's GPU and start time, then ask for a diagnosis. The
+    # GPU double-booking invariant fires at ERROR severity.
+    # ------------------------------------------------------------------
+    print("\n== Triggered finding: corrupted schedule ==")
+    schedule = recorded.plan
+    tasks = sorted(schedule.assignments)
+    victim, donor = tasks[0], tasks[1]
+    schedule.assignments[victim] = dataclasses.replace(
+        schedule.assignments[victim],
+        gpu=schedule.assignments[donor].gpu,
+        start=schedule.assignments[donor].start,
+    )
+    report = diagnose_schedule(schedule, instance=recorded.instance)
+    print(report.summary())
+    for finding in report.invariant_violations()[:2]:
+        print(f"  [{finding.severity.name}] {finding.monitor}: {finding.message}")
+
+    # ------------------------------------------------------------------
+    # Baseline engine: snapshot this run, then compare a pretend re-run
+    # whose sync-time p99 regressed 10x. Direction-aware bands flag it.
+    # ------------------------------------------------------------------
+    print("\n== Baseline check: synthetic p99 regression ==")
+    baseline_path = recorded.write_baseline(out / "baseline.json")
+    base = read_baseline(baseline_path)
+    candidate = dict(flatten_metrics(recorded.metrics_snapshot()))
+    candidate["sim.sync_time_s.p99"] = candidate["sim.sync_time_s.p99"] * 10
+    drift = compare_snapshots(base["metrics"], candidate)
+    print(drift.summary())
+    for finding in drift.errors()[:2]:
+        print(f"  [{finding.severity.name}] {finding.message}")
+    print(f"baseline written to {baseline_path}")
+    print("  -> gate a re-run with: repro check --baseline", baseline_path.name)
 
 
 if __name__ == "__main__":

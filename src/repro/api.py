@@ -45,6 +45,8 @@ from .obs import (
     write_manifest as _write_manifest_file,
     write_trace as _write_trace_file,
 )
+from .obs.baseline import snapshot_baseline, write_baseline
+from .obs.monitors import DiagnosisReport, default_monitors
 from .schedulers import Scheduler, create_from_spec
 from .sim.simulator import SimResult, simulate_plan
 from .workload.jobs import WorkloadConfig
@@ -81,6 +83,8 @@ class RunResult:
     config: dict
     #: Kernel run details when ``arrivals="streaming"`` (else ``None``).
     kernel: KernelResult | None = None
+    #: Monitor findings when the run was watched (``monitors=True``).
+    diagnosis: DiagnosisReport | None = None
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -111,28 +115,53 @@ class RunResult:
     # -- artifacts ------------------------------------------------------
     def trace(self, *, include_wall: bool = False) -> dict:
         """The run as a Chrome/Perfetto trace object."""
-        return chrome_trace(self.obs.tracer, include_wall=include_wall)
+        return chrome_trace(
+            self.obs.tracer,
+            include_wall=include_wall,
+            metrics=self.obs.metrics,
+        )
 
     def write_trace(
         self, path: str | Path, *, include_wall: bool = False
     ) -> Path:
         """Write the Perfetto trace JSON (open in ui.perfetto.dev)."""
         return _write_trace_file(
-            self.obs.tracer, path, include_wall=include_wall
+            self.obs.tracer,
+            path,
+            include_wall=include_wall,
+            metrics=self.obs.metrics,
         )
 
     def manifest(self, *, trace_path: str | None = None) -> dict:
+        results = {
+            "scheduler": self.scheduler,
+            "weighted_jct": self.weighted_jct,
+            "weighted_flow": self.metrics.total_weighted_flow,
+            "makespan": self.makespan,
+            "simulated": self.sim is not None,
+        }
+        if self.kernel is not None:
+            results["kernel"] = {
+                "events": self.kernel.events,
+                "commitments": self.kernel.commitments,
+                "replans": self.kernel.replans,
+                "retracted_rounds": self.kernel.retracted_rounds,
+            }
+        if self.diagnosis is not None:
+            results["diagnosis"] = {
+                "ok": self.diagnosis.ok,
+                "findings": len(self.diagnosis.findings),
+                "max_severity": (
+                    self.diagnosis.max_severity.name
+                    if self.diagnosis.max_severity is not None
+                    else None
+                ),
+            }
         return build_manifest(
             command=f"api.run_experiment({self.scheduler})",
             config=self.config,
             seed=self.config.get("seed"),
-            results={
-                "scheduler": self.scheduler,
-                "weighted_jct": self.weighted_jct,
-                "weighted_flow": self.metrics.total_weighted_flow,
-                "makespan": self.makespan,
-                "simulated": self.sim is not None,
-            },
+            results=results,
             metrics=self.metrics_snapshot(),
             trace_path=trace_path,
         )
@@ -144,6 +173,26 @@ class RunResult:
         return _write_manifest_file(
             self.manifest(trace_path=trace_path), path
         )
+
+    def write_baseline(self, path: str | Path) -> Path:
+        """Snapshot this run's merged metrics as a regression baseline."""
+        return write_baseline(
+            snapshot_baseline(
+                self.metrics_snapshot(),
+                config=self.config,
+                command=f"api.run_experiment({self.scheduler})",
+            ),
+            path,
+        )
+
+    def write_flight_log(self, path: str | Path) -> Path:
+        """Dump the flight recorder's history as schema-versioned JSONL."""
+        if self.obs.recorder is None:
+            raise ValueError(
+                "this run was not recorded; pass record=True (or "
+                "monitors=True) to run_experiment"
+            )
+        return self.obs.recorder.dump(path)
 
 
 @dataclass(slots=True)
@@ -181,6 +230,9 @@ class CompareResult:
         return chrome_trace(
             {name: r.obs.tracer for name, r in self.results.items()},
             include_wall=include_wall,
+            metrics={
+                name: r.obs.metrics for name, r in self.results.items()
+            },
         )
 
     def write_trace(
@@ -190,6 +242,9 @@ class CompareResult:
             {name: r.obs.tracer for name, r in self.results.items()},
             path,
             include_wall=include_wall,
+            metrics={
+                name: r.obs.metrics for name, r in self.results.items()
+            },
         )
 
     def manifest(self, *, trace_path: str | None = None) -> dict:
@@ -253,13 +308,19 @@ def _run_one(
     validate: bool,
     config: dict,
     arrivals: ArrivalsMode = "planned",
+    record: bool = False,
+    monitors: bool = False,
 ) -> RunResult:
     if arrivals not in _ARRIVALS_MODES:
         raise ValueError(
             f"arrivals must be one of {_ARRIVALS_MODES}, got {arrivals!r}"
         )
     sched = create_from_spec(scheduler)
-    obs = Obs.start(trace=trace)
+    obs = Obs.start(
+        trace=trace,
+        record=record or monitors,
+        monitors=default_monitors(instance) if monitors else None,
+    )
     kernel_result: KernelResult | None = None
     with use(obs):
         if arrivals == "streaming":
@@ -276,7 +337,7 @@ def _run_one(
             if simulate
             else None
         )
-    return RunResult(
+    result = RunResult(
         scheduler=sched.name,
         cluster=cluster,
         instance=instance,
@@ -287,6 +348,11 @@ def _run_one(
         config=config,
         kernel=kernel_result,
     )
+    if obs.recorder is not None and monitors:
+        result.diagnosis = obs.recorder.diagnose(
+            instance=instance, metrics=result.metrics_snapshot()
+        )
+    return result
 
 
 def run_experiment(
@@ -304,6 +370,8 @@ def run_experiment(
     cluster: Cluster | None = None,
     workload: Sequence[Job] | None = None,
     arrivals: ArrivalsMode = "planned",
+    record: bool = False,
+    monitors: bool = False,
 ) -> RunResult:
     """Run one scheduler end-to-end on a generated (or given) workload.
 
@@ -319,6 +387,12 @@ def run_experiment(
     :attr:`RunResult.kernel` carries the kernel's run statistics
     (events, commitments, re-plans). With every arrival known and no
     faults, the streaming metrics equal the planned ones.
+
+    ``record=True`` subscribes a flight recorder to the run
+    (:attr:`Obs.recorder`, exportable via
+    :meth:`RunResult.write_flight_log`); ``monitors=True`` additionally
+    attaches the streaming invariant monitors and anomaly detectors and
+    fills :attr:`RunResult.diagnosis` with their findings.
     """
     cluster, workload, instance = _setup(
         gpus=gpus, jobs=jobs, seed=seed, load=load,
@@ -340,6 +414,7 @@ def run_experiment(
         scheduler, cluster, instance,
         simulate=simulate, switch_mode=switch_mode, trace=trace,
         validate=validate, config=config, arrivals=arrivals,
+        record=record, monitors=monitors,
     )
 
 
@@ -351,16 +426,23 @@ def simulate(
     scheduler: str = "custom",
     switch_mode: SwitchMode = SwitchMode.HARE,
     trace: bool = True,
+    record: bool = False,
+    monitors: bool = False,
 ) -> RunResult:
     """Replay an existing *plan* on the DES under a fresh observability
     context; the returned :class:`RunResult` carries the simulation, its
-    telemetry, and the trace."""
-    obs = Obs.start(trace=trace)
+    telemetry, and the trace (plus the flight recorder / monitor
+    diagnosis when ``record`` / ``monitors`` are set)."""
+    obs = Obs.start(
+        trace=trace,
+        record=record or monitors,
+        monitors=default_monitors(instance) if monitors else None,
+    )
     with use(obs):
         sim = simulate_plan(
             cluster, instance, plan, switch_mode=switch_mode
         )
-    return RunResult(
+    result = RunResult(
         scheduler=scheduler,
         cluster=cluster,
         instance=instance,
@@ -375,6 +457,11 @@ def simulate(
             "switch_mode": switch_mode.value,
         },
     )
+    if obs.recorder is not None and monitors:
+        result.diagnosis = obs.recorder.diagnose(
+            instance=instance, metrics=result.metrics_snapshot()
+        )
+    return result
 
 
 def compare(
@@ -392,6 +479,8 @@ def compare(
     cluster: Cluster | None = None,
     workload: Sequence[Job] | None = None,
     arrivals: ArrivalsMode = "planned",
+    record: bool = False,
+    monitors: bool = False,
 ) -> CompareResult:
     """Run several schedulers on one shared workload.
 
@@ -424,6 +513,7 @@ def compare(
             spec, cluster, instance,
             simulate=simulate, switch_mode=switch_mode, trace=trace,
             validate=validate, config=config, arrivals=arrivals,
+            record=record, monitors=monitors,
         )
         results[run.scheduler] = run
     return CompareResult(results=results, config=config)

@@ -5,6 +5,10 @@ Usage (``python -m repro ...``)::
     python -m repro compare  --gpus 40 --jobs 60 --load 2.0 --seed 7
     python -m repro schedule --gpus 15 --jobs 20 --scheduler hare --simulate
     python -m repro trace    --gpus 15 --jobs 8 --out trace.json
+    python -m repro record   --gpus 15 --jobs 8 --out flight.jsonl
+    python -m repro replay   flight.jsonl --category sim --monitors
+    python -m repro check    --baseline benchmarks/out/BENCH_kernel.json \
+                             --candidate artifacts/BENCH_kernel.json
     python -m repro table3
     python -m repro speedups
 
@@ -15,6 +19,15 @@ switching costs); ``trace`` exports a Chrome/Perfetto trace plus a
 grids (paper Table 3 / Fig. 2). ``compare``/``schedule``/``chaos`` accept
 ``--trace-out``/``--manifest-out`` to leave the same artifacts behind
 (``--trace-out`` implies the DES replay — the trace's events come from it).
+
+The continuous-observability commands: ``record`` runs one scheduler with
+the flight recorder and streaming monitors attached and dumps the
+schema-versioned JSONL flight log; ``replay`` filters/summarizes a flight
+log and can re-run the monitors over it post-hoc; ``check`` compares a
+metrics baseline (or a ``BENCH_kernel.json`` bench report) against a
+candidate under per-metric tolerance bands and exits non-zero on
+regression — the CI drift gate. ``chaos --monitors`` attaches the
+monitors to a fault-injection run and fails on invariant violations.
 """
 
 from __future__ import annotations
@@ -233,7 +246,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     plane.submit(jobs)
     from contextlib import nullcontext
 
-    obs = Obs.start(trace=True) if _wants_artifacts(args) else None
+    monitors_on = bool(getattr(args, "monitors", False))
+    obs = None
+    if monitors_on:
+        from .obs import default_monitors
+
+        obs = Obs.start(
+            trace=_wants_artifacts(args),
+            record=True,
+            monitors=default_monitors(),
+        )
+    elif _wants_artifacts(args):
+        obs = Obs.start(trace=True)
     with use(obs) if obs is not None else nullcontext():
         result = plane.run_chaos(
             scenario,
@@ -241,6 +265,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 interval_s=args.heartbeat_interval, lease_s=args.lease
             ),
         )
+    diagnosis = None
+    if monitors_on:
+        diagnosis = obs.recorder.diagnose(metrics=obs.metrics.snapshot())
     report = result.report
     rows = [
         ["jobs completed", len(result.completions)],
@@ -306,7 +333,194 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             )
             path = write_manifest(manifest, args.manifest_out)
             print(f"manifest written to {path}", file=sys.stderr)
+    if diagnosis is not None:
+        _print_report(diagnosis)
+        if not diagnosis.ok:
+            return 1
     return 0
+
+
+def _print_report(report, *, limit: int = 20) -> None:
+    print(report.summary())
+    for finding in report.findings[:limit]:
+        where = f" @t={finding.time:.3f}" if finding.time is not None else ""
+        print(f"  [{finding.severity.name}] {finding.monitor}{where}: "
+              f"{finding.message}")
+    if len(report.findings) > limit:
+        print(f"  ... and {len(report.findings) - limit} more")
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Run one scheduler with the flight recorder + monitors attached."""
+    cluster = _cluster(args)
+    jobs = _workload(args)
+    try:
+        scheduler = create_scheduler(args.scheduler)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    r = api.run_experiment(
+        cluster=cluster,
+        workload=jobs,
+        scheduler=scheduler,
+        seed=args.seed,
+        load=args.load,
+        rounds_scale=args.rounds_scale,
+        simulate=True,
+        trace=False,
+        arrivals=getattr(args, "arrivals", "planned"),
+        record=True,
+        monitors=not args.no_monitors,
+    )
+    recorder = r.obs.recorder
+    path = r.write_flight_log(args.out)
+    compute = recorder.span_stats(category="sim")
+    print(
+        f"recorded {recorder.seen} events "
+        f"({recorder.dropped} dropped) from {r.scheduler} on "
+        f"{cluster.num_gpus} GPUs, {len(jobs)} jobs"
+    )
+    print(
+        f"compute spans: {compute['count']} "
+        f"(total {compute['total_s']:.1f}s, mean {compute['mean_s']:.3f}s)"
+    )
+    print(f"flight log written to {path}")
+    if r.diagnosis is not None:
+        _print_report(r.diagnosis)
+        if not r.diagnosis.ok:
+            return 1
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Filter/summarize a flight log; optionally re-run the monitors."""
+    from .obs import load_flight_log, replay_monitors
+
+    try:
+        records = load_flight_log(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load flight log: {exc}", file=sys.stderr)
+        return 2
+    matched = records
+    if args.category:
+        matched = [r for r in matched if r.category == args.category]
+    if args.track:
+        pat = args.track
+        matched = [
+            r for r in matched
+            if (r.track.startswith(pat[:-1]) if pat.endswith("*")
+                else r.track == pat)
+        ]
+    if args.name:
+        pat = args.name
+        matched = [
+            r for r in matched
+            if (r.name.startswith(pat[:-1]) if pat.endswith("*")
+                else r.name == pat)
+        ]
+    if args.since is not None:
+        matched = [r for r in matched if r.time >= args.since]
+    if args.until is not None:
+        matched = [r for r in matched if r.time < args.until]
+    by_kind: dict[str, int] = {}
+    for rec in matched:
+        by_kind[rec.kind] = by_kind.get(rec.kind, 0) + 1
+    print(
+        f"{len(matched)}/{len(records)} records match "
+        f"({', '.join(f'{k}: {n}' for k, n in sorted(by_kind.items()))})"
+    )
+    for rec in matched[: args.limit]:
+        extent = f" dur={rec.duration:.4f}s" if rec.duration else ""
+        print(
+            f"  #{rec.seq} t={rec.time:.4f} [{rec.category}] "
+            f"{rec.kind} {rec.name!r} on {rec.track}{extent}"
+        )
+    if len(matched) > args.limit:
+        print(f"  ... and {len(matched) - args.limit} more")
+    if args.monitors:
+        report = replay_monitors(records)
+        _print_report(report)
+        if not report.ok:
+            return 1
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Compare a baseline against a candidate run; exit 1 on regression."""
+    import json as _json
+
+    from .obs.baseline import (
+        BASELINE_TOLERANCES,
+        BENCH_TOLERANCES,
+        compare_snapshots,
+        load_snapshot,
+    )
+
+    try:
+        base_doc, base_flat, base_kind = load_snapshot(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+
+    if args.candidate:
+        try:
+            cand_doc, cand_flat, cand_kind = load_snapshot(args.candidate)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load candidate: {exc}", file=sys.stderr)
+            return 2
+        if cand_kind != base_kind:
+            print(
+                f"baseline is a {base_kind} document but candidate is a "
+                f"{cand_kind} document",
+                file=sys.stderr,
+            )
+            return 2
+    elif base_kind == "baseline":
+        # Re-run the experiment the baseline records and compare fresh.
+        from .obs.baseline import flatten_metrics
+
+        config = base_doc.get("config", {})
+        result = api.run_experiment(
+            gpus=int(config.get("gpus", 15)),
+            jobs=int(config.get("jobs", 20)),
+            scheduler=config.get("scheduler", "hare"),
+            seed=int(config.get("seed", 0)),
+            load=float(config.get("load", 1.5)),
+            rounds_scale=float(config.get("rounds_scale", 0.15)),
+            simulate=bool(config.get("simulate", True)),
+            switch_mode=SwitchMode(config.get("switch_mode", "hare")),
+            arrivals=config.get("arrivals", "planned"),
+            trace=False,
+        )
+        cand_flat = flatten_metrics(result.metrics_snapshot())
+    else:
+        print(
+            "a bench-report baseline needs --candidate (fresh bench "
+            "output to compare)",
+            file=sys.stderr,
+        )
+        return 2
+
+    tolerances = (
+        BENCH_TOLERANCES if base_kind == "bench" else BASELINE_TOLERANCES
+    )
+    report = compare_snapshots(
+        base_flat,
+        cand_flat,
+        tolerances=tolerances,
+        source=f"{base_kind}-check",
+    )
+    _print_report(report)
+    if args.report:
+        from pathlib import Path
+
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"diagnosis report written to {out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -480,7 +694,64 @@ def build_parser() -> argparse.ArgumentParser:
                          help="failure-detector lease (s)")
     p_chaos.add_argument("--checkpoint-interval", type=int, default=10,
                          help="checkpoint every N rounds")
+    p_chaos.add_argument("--monitors", action="store_true",
+                         help="attach the streaming invariant monitors and "
+                              "fail on invariant violations")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_record = sub.add_parser(
+        "record",
+        help="run one scheduler with the flight recorder + monitors "
+             "and dump the JSONL flight log",
+    )
+    add_workload_args(p_record)
+    p_record.add_argument("--scheduler", default="hare")
+    p_record.add_argument("--out", default="flight.jsonl", metavar="JSONL",
+                          help="flight-log output path")
+    p_record.add_argument("--no-monitors", action="store_true",
+                          help="record only; skip the streaming monitors")
+    p_record.set_defaults(func=cmd_record)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="filter/summarize a recorded flight log "
+             "(optionally re-run the monitors)",
+    )
+    p_replay.add_argument("log", metavar="JSONL",
+                          help="flight log written by 'repro record'")
+    p_replay.add_argument("--category",
+                          help="keep records of one category "
+                               "(sched|sim|switch|sync|fault|ctrl)")
+    p_replay.add_argument("--track",
+                          help="track filter; trailing * matches a prefix")
+    p_replay.add_argument("--name",
+                          help="name filter; trailing * matches a prefix")
+    p_replay.add_argument("--since", type=float, default=None,
+                          help="keep records at/after this sim time")
+    p_replay.add_argument("--until", type=float, default=None,
+                          help="keep records before this sim time")
+    p_replay.add_argument("--limit", type=int, default=20,
+                          help="max records to print (default: 20)")
+    p_replay.add_argument("--monitors", action="store_true",
+                          help="re-run the streaming monitors over the "
+                               "full log and fail on ERROR findings")
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_check = sub.add_parser(
+        "check",
+        help="compare a metrics baseline or bench report against a "
+             "candidate; exit 1 on regression",
+    )
+    p_check.add_argument("--baseline", required=True, metavar="JSON",
+                         help="baseline document (repro.baseline/1 or "
+                              "BENCH_kernel.json)")
+    p_check.add_argument("--candidate", metavar="JSON",
+                         help="candidate document of the same kind; for a "
+                              "metrics baseline, omit to re-run the "
+                              "recorded experiment fresh")
+    p_check.add_argument("--report", metavar="JSON",
+                         help="write the DiagnosisReport JSON here")
+    p_check.set_defaults(func=cmd_check)
 
     p_t3 = sub.add_parser("table3", help="print the switching-cost grid")
     p_t3.add_argument("--gpu", default="V100")

@@ -38,6 +38,7 @@ from ..faults.retry import RetryPolicy
 from ..faults.scenario import FaultScenario
 from ..kernel.residual import ResidualPlanner
 from ..obs import Category, current as obs_current
+from ..obs.context import DISABLED, use as obs_use
 from ..schedulers import HareScheduler, Scheduler
 from ..sim.simulator import ClusterSimulator, SimResult, simulate_plan
 from ..workload.models import spec_or_synthetic
@@ -422,10 +423,14 @@ class ControlPlane:
         ):
             plan = self.scheduler.schedule(instance)
 
-        # Failure-free reference run (reliable wire) for degradation metrics.
-        baseline = simulate_plan(
-            self.cluster, instance, plan, switch_mode=self.switch_mode
-        )
+        # Failure-free reference run (reliable wire) for degradation
+        # metrics. Muted: it is a counterfactual, and its spans would
+        # overlap the real phases on the same GPU tracks, tripping the
+        # double-booking invariant and inflating sim.* metrics.
+        with obs_use(DISABLED):
+            baseline = simulate_plan(
+                self.cluster, instance, plan, switch_mode=self.switch_mode
+            )
 
         # Arm the unreliable wire; every send below may drop.
         self.transport.faults = scenario.network()
@@ -613,6 +618,19 @@ class ControlPlane:
                 cur_plan = None
                 break
             cur_instance = residual
+            # The epoch mark must precede the re-plan: schedulers that
+            # drive the kernel internally emit kernel.commit instants for
+            # the residual's renumbered job ids, and monitors key their
+            # per-job state reset off this instant.
+            if obs.enabled:
+                obs.tracer.instant(
+                    Category.CTRL,
+                    f"replan after gpu {crash.gpu_id} crash",
+                    track=CTRL_TRACK,
+                    time=t_dead,
+                    dead_gpu=crash.gpu_id,
+                    survivors=len(gpu_map),
+                )
             with obs.tracer.timed(
                 Category.CTRL,
                 "replan",
@@ -623,15 +641,6 @@ class ControlPlane:
                 cur_plan = planner.plan(self.scheduler, residual)
             telemetry.replans += 1
             obs.metrics.counter("ctrl.replans").inc()
-            if obs.enabled:
-                obs.tracer.instant(
-                    Category.CTRL,
-                    f"replan after gpu {crash.gpu_id} crash",
-                    track=CTRL_TRACK,
-                    time=t_dead,
-                    dead_gpu=crash.gpu_id,
-                    survivors=len(gpu_map),
-                )
             acks.extend(self._ship(cur_plan, gpu_map, retry, at=t_dead))
 
         # 5. Run the last plan to completion (no further crashes).

@@ -60,6 +60,22 @@ class KernelResult:
     retracted_rounds: int
 
 
+def _event_args(event: Event) -> dict:
+    """Structured args for an event's kernel-track instant."""
+    if event.type == KernelEventType.JOB_ARRIVED:
+        return {"job": event.payload}
+    if event.type in (
+        KernelEventType.GPU_CRASHED,
+        KernelEventType.GPU_RESTORED,
+        KernelEventType.GPU_FREE,
+    ):
+        return {"gpu": event.payload}
+    if event.type == KernelEventType.ROUND_BARRIER_OPEN and event.payload:
+        job, round_idx = event.payload
+        return {"job": job, "round": round_idx}
+    return {}
+
+
 class SchedulingKernel:
     """Event loop binding one policy to one problem instance."""
 
@@ -185,6 +201,15 @@ class SchedulingKernel:
                 else job.arrival
             )
             state.ready_at[job.job_id] = max(t, last_barrier)
+            obs_current().tracer.instant(
+                Category.SCHED,
+                "kernel.retract",
+                track=KERNEL_TRACK,
+                time=t,
+                job=job.job_id,
+                rounds_done=cut,
+                gpu=gpu,
+            )
         phi = [0.0] * self.instance.num_gpus
         for a in state.committed.assignments.values():
             phi[a.gpu] = max(phi[a.gpu], a.compute_end)
@@ -237,6 +262,15 @@ class SchedulingKernel:
         for m, before in enumerate(phi_before):
             if state.phi[m] > before + KERNEL_EPS:
                 self._wake(state.phi[m], KernelEventType.GPU_FREE, m)
+        for job_id in sorted(touched_jobs):
+            obs.tracer.instant(
+                Category.SCHED,
+                "kernel.commit",
+                track=KERNEL_TRACK,
+                time=state.now,
+                job=job_id,
+                rounds_done=state.rounds_done[job_id],
+            )
         self.commitments += 1
         obs.metrics.counter("kernel.commitments").inc()
         obs.metrics.histogram("kernel.commit_horizon_s").observe(
@@ -250,6 +284,7 @@ class SchedulingKernel:
         state = self.state
         self.policy.setup(state)
         invoke_cap = 4 * self.instance.num_jobs + 16
+        replans_seen = int(getattr(self.policy, "replans", 0))
         while self.queue:
             if state.complete() and self._pending_faults == 0:
                 break
@@ -270,6 +305,7 @@ class SchedulingKernel:
                         event.type.name,
                         track=KERNEL_TRACK,
                         time=event.time,
+                        **_event_args(event),
                     )
                 self._apply_event(event)
             for event in batch:
@@ -284,6 +320,21 @@ class SchedulingKernel:
                         f"policy {self.policy.name!r} did not reach a "
                         f"fixed point at t={state.now}"
                     )
+                replans_now = int(getattr(self.policy, "replans", 0))
+                if replans_now > replans_seen:
+                    tracer.instant(
+                        Category.SCHED,
+                        "kernel.replan",
+                        track=KERNEL_TRACK,
+                        time=state.now,
+                        pass_idx=replans_now,
+                    )
+                    replans_seen = replans_now
+            # Sample point-in-time curves once per batch (deterministic
+            # sim times → byte-stable counter tracks in the export).
+            obs.metrics.gauge("kernel.queue_depth").set(len(self.queue))
+            obs.metrics.sample("kernel.queue_depth", t)
+            obs.metrics.sample("kernel.commitments", t)
         if not state.complete():
             raise InfeasibleProblemError(
                 "kernel drained its queue with rounds still uncommitted; "

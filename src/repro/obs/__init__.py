@@ -12,14 +12,45 @@ One import point for the four pieces the rest of the package emits into:
 * :mod:`~repro.obs.manifest` — the ``run.json`` artifact every traced run
   leaves behind.
 
+On top of that substrate sits the continuous-observability stack
+(:mod:`~repro.obs.analysis` is its facade):
+
+* :mod:`~repro.obs.recorder` — the flight recorder: a bounded-ring,
+  spill-to-JSONL structured event log subscribed to the tracer;
+* :mod:`~repro.obs.monitors` — streaming invariant checkers and anomaly
+  detectors emitting severity-graded findings into a
+  :class:`DiagnosisReport`;
+* :mod:`~repro.obs.baseline` — the cross-run regression engine
+  (schema-versioned metric baselines, direction-aware tolerance bands,
+  ``repro check --baseline``).
+
 Instrumented code reads the ambient context (:func:`current`) and emits
 unconditionally; :func:`use` installs a live :class:`Obs` for a run's
 extent. Tracing is **off by default** — outside ``use`` the context is
 :data:`DISABLED` and every emission is a no-op.
 """
 
+from .baseline import (
+    BASELINE_SCHEMA,
+    Tolerance,
+    compare_bench_reports,
+    compare_snapshots,
+    read_baseline,
+    snapshot_baseline,
+    write_baseline,
+)
 from .context import DISABLED, Obs, current, use
 from .manifest import SCHEMA, build_manifest, read_manifest, write_manifest
+from .monitors import (
+    DiagnosisReport,
+    Finding,
+    Monitor,
+    Severity,
+    default_monitors,
+    diagnose_schedule,
+    replay_monitors,
+)
+from .recorder import FLIGHT_SCHEMA, FlightRecorder, Record, load_flight_log
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -48,32 +79,50 @@ from .trace import (
 )
 
 __all__ = [
+    "BASELINE_SCHEMA",
     "Category",
     "Counter",
     "DISABLED",
+    "DiagnosisReport",
+    "FLIGHT_SCHEMA",
+    "Finding",
+    "FlightRecorder",
     "FlowEvent",
     "Gauge",
     "Histogram",
     "InstantEvent",
     "MetricsRegistry",
+    "Monitor",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
     "Obs",
+    "Record",
     "SCHEMA",
+    "Severity",
     "SpanEvent",
+    "Tolerance",
     "Tracer",
     "WallSpan",
     "build_manifest",
     "chrome_trace",
+    "compare_bench_reports",
+    "compare_snapshots",
     "current",
+    "default_monitors",
+    "diagnose_schedule",
     "gpu_track",
     "job_track",
+    "load_flight_log",
+    "read_baseline",
     "read_manifest",
+    "replay_monitors",
+    "snapshot_baseline",
     "trace_json",
     "use",
     "validate_chrome_trace",
+    "write_baseline",
     "write_manifest",
     "write_trace",
 ]

@@ -1,0 +1,106 @@
+"""Facade over the continuous-observability stack.
+
+``repro.obs.analysis`` bundles the three parts built on top of the
+tracer/metrics substrate — the flight recorder, the streaming monitors,
+and the cross-run regression engine — behind one import, mirroring how
+``repro.api`` fronts the run machinery:
+
+* record a run: ``Obs.start(record=True)`` (or ``repro record`` on the
+  CLI), then :func:`~repro.obs.recorder.FlightRecorder.query` /
+  ``span_stats`` / ``dump``;
+* watch it live: attach :func:`~repro.obs.monitors.default_monitors` and
+  collect a :class:`~repro.obs.monitors.DiagnosisReport` via
+  ``recorder.diagnose()`` — or diagnose post-hoc with
+  :func:`~repro.obs.monitors.replay_monitors` over a loaded flight log,
+  or statically with :func:`~repro.obs.monitors.diagnose_schedule`;
+* gate drift: :func:`~repro.obs.baseline.snapshot_baseline` /
+  :func:`~repro.obs.baseline.compare_snapshots` /
+  :func:`~repro.obs.baseline.compare_bench_reports`
+  (``repro check --baseline`` on the CLI).
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BASELINE_SCHEMA,
+    BENCH_TOLERANCES,
+    DEFAULT_TOLERANCE,
+    EXACT,
+    THROUGHPUT_DOWN,
+    TIMING_UP,
+    Tolerance,
+    bench_snapshot,
+    compare_bench_reports,
+    compare_snapshots,
+    flatten_metrics,
+    flatten_scalars,
+    is_bench_report,
+    load_snapshot,
+    read_baseline,
+    resolve_tolerance,
+    snapshot_baseline,
+    write_baseline,
+)
+from .monitors import (
+    CommitmentMonotonicityMonitor,
+    DiagnosisContext,
+    DiagnosisReport,
+    Finding,
+    GpuDoubleBookingMonitor,
+    JobStarvationMonitor,
+    Monitor,
+    ReplanStormMonitor,
+    RoundBarrierMonitor,
+    Severity,
+    UtilizationCollapseMonitor,
+    UtilizationConservationMonitor,
+    collect_findings,
+    default_monitors,
+    diagnose_schedule,
+    replay_monitors,
+)
+from .recorder import FLIGHT_SCHEMA, FlightRecorder, Record, load_flight_log
+
+__all__ = [
+    # recorder
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "Record",
+    "load_flight_log",
+    # monitors
+    "Severity",
+    "Finding",
+    "DiagnosisReport",
+    "DiagnosisContext",
+    "Monitor",
+    "GpuDoubleBookingMonitor",
+    "RoundBarrierMonitor",
+    "CommitmentMonotonicityMonitor",
+    "UtilizationConservationMonitor",
+    "ReplanStormMonitor",
+    "JobStarvationMonitor",
+    "UtilizationCollapseMonitor",
+    "collect_findings",
+    "default_monitors",
+    "diagnose_schedule",
+    "replay_monitors",
+    # baseline / regression engine
+    "BASELINE_SCHEMA",
+    "BENCH_TOLERANCES",
+    "DEFAULT_TOLERANCE",
+    "EXACT",
+    "THROUGHPUT_DOWN",
+    "TIMING_UP",
+    "Tolerance",
+    "bench_snapshot",
+    "compare_bench_reports",
+    "compare_snapshots",
+    "flatten_metrics",
+    "flatten_scalars",
+    "is_bench_report",
+    "load_snapshot",
+    "read_baseline",
+    "resolve_tolerance",
+    "snapshot_baseline",
+    "write_baseline",
+]

@@ -22,17 +22,22 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
 
 from .metrics import NULL_REGISTRY, MetricsRegistry
+from .recorder import FlightRecorder
 from .trace import NULL_TRACER, NullTracer, Tracer
 
 
 @dataclass(slots=True)
 class Obs:
-    """One run's observability surface: tracer + metrics registry."""
+    """One run's observability surface: tracer + metrics + recorder."""
 
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+    #: Flight recorder subscribed to the tracer, when recording.
+    recorder: FlightRecorder | None = None
 
     @property
     def enabled(self) -> bool:
@@ -41,11 +46,39 @@ class Obs:
         )
 
     @classmethod
-    def start(cls, *, trace: bool = True) -> "Obs":
-        """A live context: real registry, real tracer unless ``trace=False``."""
+    def start(
+        cls,
+        *,
+        trace: bool = True,
+        record: bool = False,
+        record_capacity: int = 65536,
+        spill_path: str | Path | None = None,
+        monitors: Iterable | None = None,
+    ) -> "Obs":
+        """A live context: real registry, real tracer unless ``trace=False``.
+
+        With ``record=True`` (or any *monitors*) a
+        :class:`~repro.obs.recorder.FlightRecorder` is built and wired as
+        the tracer's sink; ``trace=False`` then still streams events into
+        the recorder without retaining them for Perfetto export.
+        """
+        recorder = None
+        if record or monitors:
+            recorder = FlightRecorder(
+                record_capacity,
+                spill_path=spill_path,
+                monitors=monitors or (),
+            )
+        if trace:
+            tracer: Tracer = Tracer(sink=recorder)
+        elif recorder is not None:
+            tracer = Tracer(keep=False, sink=recorder)
+        else:
+            tracer = NullTracer()
         return cls(
-            tracer=Tracer() if trace else NullTracer(),
+            tracer=tracer,
             metrics=MetricsRegistry(),
+            recorder=recorder,
         )
 
 

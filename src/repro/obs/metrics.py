@@ -129,9 +129,18 @@ class Histogram:
 
 @dataclass(slots=True)
 class MetricsRegistry:
-    """Named instruments, created on first use, read via :meth:`snapshot`."""
+    """Named instruments, created on first use, read via :meth:`snapshot`.
+
+    Counters and gauges are point-in-time values; :meth:`sample` captures
+    one ``(time, value)`` observation of an instrument so exports can
+    render *curves* (Perfetto counter tracks: queue depth, busy GPUs)
+    rather than only final totals. Sampling happens at deterministic sim
+    times, so the timeline — like the trace — is byte-stable across runs.
+    """
 
     _instruments: dict[str, object] = field(default_factory=dict)
+    #: (time, instrument name, value) triples, in sampling order.
+    _samples: list[tuple[float, str, float]] = field(default_factory=list)
 
     def _get(self, name: str, kind: type):
         instrument = self._instruments.get(name)
@@ -169,6 +178,25 @@ class MetricsRegistry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    # -- timelines -----------------------------------------------------
+    def sample(self, name: str, time: float) -> None:
+        """Capture instrument *name*'s current value at sim-time *time*.
+
+        A no-op when the instrument does not exist yet or is a histogram
+        (distributions have no single curve value).
+        """
+        instrument = self._instruments.get(name)
+        if instrument is None or isinstance(instrument, Histogram):
+            return
+        self._samples.append((float(time), name, float(instrument.value)))
+
+    def timeline(self) -> dict[str, list[tuple[float, float]]]:
+        """Sampled ``(time, value)`` curves keyed by instrument name."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        for time, name, value in self._samples:
+            out.setdefault(name, []).append((time, value))
+        return {name: out[name] for name in sorted(out)}
 
 
 class _NullCounter(Counter):
@@ -208,7 +236,13 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name: str) -> Histogram:
         return self._HISTOGRAM
 
+    def sample(self, name: str, time: float) -> None:
+        pass
+
     def snapshot(self) -> dict[str, dict]:
+        return {}
+
+    def timeline(self) -> dict[str, list[tuple[float, float]]]:
         return {}
 
 

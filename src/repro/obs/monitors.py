@@ -1,0 +1,791 @@
+"""Streaming invariant monitors and anomaly detectors.
+
+Monitors subscribe to the flight-recorder stream
+(:meth:`~repro.obs.recorder.FlightRecorder.attach`) and watch the run *as
+it happens*: each :class:`~repro.obs.recorder.Record` flows through
+:meth:`Monitor.observe`, findings accumulate, and
+:func:`collect_findings` (via ``recorder.diagnose()``) finishes every
+monitor into one severity-graded :class:`DiagnosisReport`.
+
+Two families:
+
+**Invariant checkers** (``invariant = True``; violations are ERROR — a
+correct run must never produce one):
+
+* :class:`GpuDoubleBookingMonitor` — compute spans on one GPU track never
+  overlap (the paper's constraint (8), non-preemption);
+* :class:`RoundBarrierMonitor` — every completed round runs exactly
+  ``sync_scale`` tasks (scale-fixed semantics, constraint (6)) and round
+  ``r+1`` starts only after round ``r``'s sync barrier (constraint (7));
+* :class:`CommitmentMonotonicityMonitor` — the kernel's per-job committed
+  round count only grows, except across an explicit fault retraction;
+* :class:`UtilizationConservationMonitor` — per-GPU busy time never
+  exceeds the observed horizon, and the span-derived total compute agrees
+  with the metrics registry's ``sim.train_time_s`` accounting.
+
+**Heuristic detectors** (``invariant = False``; findings are WARNING —
+suspicious, not provably wrong):
+
+* :class:`ReplanStormMonitor` — too many re-planning passes inside a
+  sliding sim-time window;
+* :class:`JobStarvationMonitor` — a job waits far longer than its peers
+  between arrival and first committed compute;
+* :class:`UtilizationCollapseMonitor` — the whole cluster goes idle for a
+  long stretch while ready work exists.
+
+Control-plane recovery re-plans renumber the residual jobs, so a ``ctrl``
+``replan …`` instant is an **epoch boundary**: per-job bookkeeping resets
+there (time-based checks, like GPU double-booking, carry across epochs
+because sim time stays global).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Iterable, Mapping, Sequence
+
+from ..core.schedule import merge_intervals
+from .recorder import Record
+
+#: Float slack for time comparisons, mirroring the schedule validator.
+MONITOR_EPS = 1e-9
+
+#: Per-monitor cap so a systematically-broken run doesn't flood the report.
+MAX_FINDINGS_PER_MONITOR = 20
+
+
+class Severity(enum.IntEnum):
+    """Graded severity; ordered so ``>=`` comparisons read naturally."""
+
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One observation a monitor (or the regression engine) made."""
+
+    severity: Severity
+    monitor: str
+    message: str
+    #: Sim time the finding anchors to (None when aggregate).
+    time: float | None = None
+    track: str | None = None
+    #: True when produced by an invariant checker (ERROR = a real bug).
+    invariant: bool = False
+    details: Mapping = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out = {
+            "severity": self.severity.name,
+            "monitor": self.monitor,
+            "message": self.message,
+            "invariant": self.invariant,
+        }
+        if self.time is not None:
+            out["time"] = self.time
+        if self.track is not None:
+            out["track"] = self.track
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class DiagnosisReport:
+    """Every finding one diagnosed run produced, worst first."""
+
+    findings: tuple[Finding, ...]
+    monitors: tuple[str, ...] = ()
+    records_seen: int = 0
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    @property
+    def ok(self) -> bool:
+        """No finding at ERROR or above."""
+        return all(f.severity < Severity.ERROR for f in self.findings)
+
+    def at_least(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    def errors(self) -> list[Finding]:
+        return self.at_least(Severity.ERROR)
+
+    def invariant_violations(self) -> list[Finding]:
+        """ERROR findings from invariant checkers — must be empty."""
+        return [f for f in self.errors() if f.invariant]
+
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro.diagnosis/1",
+            "records_seen": self.records_seen,
+            "monitors": list(self.monitors),
+            "max_severity": (
+                self.max_severity.name if self.max_severity else None
+            ),
+            "ok": self.ok,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        if not self.findings:
+            return (
+                f"diagnosis OK: {len(self.monitors)} monitors, "
+                f"{self.records_seen} records, no findings"
+            )
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.severity.name] = counts.get(f.severity.name, 0) + 1
+        parts = ", ".join(
+            f"{n} {name}" for name, n in sorted(counts.items())
+        )
+        return (
+            f"diagnosis {'OK' if self.ok else 'FAILED'}: "
+            f"{len(self.findings)} finding(s) ({parts}) from "
+            f"{len(self.monitors)} monitors over "
+            f"{self.records_seen} records"
+        )
+
+
+def _is_epoch_mark(record: Record) -> bool:
+    """Control-plane recovery re-plan: the job-id namespace resets."""
+    return (
+        record.kind == "instant"
+        and record.category == "ctrl"
+        and record.name.startswith("replan")
+    )
+
+
+class Monitor:
+    """Base streaming monitor: accumulate findings, finish on demand."""
+
+    name = "monitor"
+    invariant = False
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    # -- protocol -------------------------------------------------------
+    def observe(self, record: Record) -> None:
+        if _is_epoch_mark(record):
+            self.on_epoch(record)
+        self.on_record(record)
+
+    def on_record(self, record: Record) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_epoch(self, record: Record) -> None:  # pragma: no cover - hook
+        pass
+
+    def finish(self, ctx: "DiagnosisContext") -> None:
+        pass
+
+    # -- helpers --------------------------------------------------------
+    def emit(
+        self,
+        severity: Severity,
+        message: str,
+        *,
+        time: float | None = None,
+        track: str | None = None,
+        **details,
+    ) -> None:
+        if len(self.findings) >= MAX_FINDINGS_PER_MONITOR:
+            return
+        self.findings.append(
+            Finding(
+                severity=severity,
+                monitor=self.name,
+                message=message,
+                time=time,
+                track=track,
+                invariant=self.invariant,
+                details=details,
+            )
+        )
+
+
+@dataclass(slots=True)
+class DiagnosisContext:
+    """What monitors may consult when finishing."""
+
+    #: The problem instance, when the caller has it (enables exact
+    #: sync-scale and arrival checks).
+    instance: object | None = None
+    #: A metrics snapshot (``MetricsRegistry.snapshot()`` shape) for
+    #: conservation cross-checks.
+    metrics: Mapping | None = None
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers
+# ----------------------------------------------------------------------
+class GpuDoubleBookingMonitor(Monitor):
+    """No two compute spans on one GPU track may overlap.
+
+    Invariant (paper constraint (8)): GPUs are non-preemptive — on every
+    ``gpu/*`` track, ``sim``-category compute spans are disjoint (sync
+    legally overlaps the successor; it lives on job tracks).
+    """
+
+    name = "gpu_double_booking"
+    invariant = True
+
+    def __init__(self, eps: float = MONITOR_EPS) -> None:
+        super().__init__()
+        self.eps = eps
+        #: per track: parallel sorted lists of (start, end)
+        self._starts: dict[str, list[float]] = {}
+        self._ends: dict[str, list[float]] = {}
+
+    def on_record(self, record: Record) -> None:
+        if (
+            record.kind != "span"
+            or record.category != "sim"
+            or not record.track.startswith("gpu/")
+        ):
+            return
+        starts = self._starts.setdefault(record.track, [])
+        ends = self._ends.setdefault(record.track, [])
+        i = bisect.bisect_left(starts, record.time)
+        # Overlap with the predecessor (ends after we start)?
+        if i > 0 and ends[i - 1] > record.time + self.eps:
+            self.emit(
+                Severity.ERROR,
+                f"GPU double-booked: {record.name!r} starts at "
+                f"{record.time:.6f} inside a span computing until "
+                f"{ends[i - 1]:.6f}",
+                time=record.time,
+                track=record.track,
+                overlap_s=ends[i - 1] - record.time,
+            )
+        # Overlap with the successor (we end after it starts)?
+        if i < len(starts) and record.end > starts[i] + self.eps:
+            self.emit(
+                Severity.ERROR,
+                f"GPU double-booked: {record.name!r} computes until "
+                f"{record.end:.6f} past the next span's start "
+                f"{starts[i]:.6f}",
+                time=record.time,
+                track=record.track,
+                overlap_s=record.end - starts[i],
+            )
+        starts.insert(i, record.time)
+        ends.insert(i, record.end)
+
+
+class RoundBarrierMonitor(Monitor):
+    """Scale-fixed rounds behind strict sync barriers.
+
+    Invariants (paper constraints (6)/(7)): every *completed* round of a
+    job — one whose ``barrier`` instant fired — ran exactly ``sync_scale``
+    tasks, and no round-``r+1`` task starts before round ``r``'s barrier.
+    Resets at control-plane re-plan epochs (job ids renumber).
+    """
+
+    name = "round_barrier"
+    invariant = True
+
+    def __init__(self, eps: float = MONITOR_EPS) -> None:
+        super().__init__()
+        self.eps = eps
+        self._reset()
+
+    def _reset(self) -> None:
+        self._task_count: dict[tuple[int, int], int] = {}
+        self._min_start: dict[tuple[int, int], float] = {}
+        self._barrier: dict[tuple[int, int], float] = {}
+
+    def on_epoch(self, record: Record) -> None:
+        self._check()
+        self._reset()
+
+    def on_record(self, record: Record) -> None:
+        args = record.args
+        job, rnd = args.get("job"), args.get("round")
+        if job is None or rnd is None:
+            return
+        key = (int(job), int(rnd))
+        if (
+            record.kind == "span"
+            and record.category == "sim"
+            and record.track.startswith("gpu/")
+        ):
+            self._task_count[key] = self._task_count.get(key, 0) + 1
+            prev = self._min_start.get(key)
+            if prev is None or record.time < prev:
+                self._min_start[key] = record.time
+        elif record.kind == "instant" and record.name.startswith("barrier"):
+            self._barrier[key] = record.time
+
+    def _scale_of(self, ctx: DiagnosisContext | None, job: int) -> int | None:
+        instance = ctx.instance if ctx is not None else None
+        if instance is None:
+            return None
+        try:
+            return instance.jobs[job].sync_scale
+        except (AttributeError, IndexError, KeyError):
+            return None
+
+    def _check(self, ctx: DiagnosisContext | None = None) -> None:
+        jobs = sorted({job for job, _ in self._barrier})
+        for job in jobs:
+            rounds = sorted(r for j, r in self._barrier if j == job)
+            expected = self._scale_of(ctx, job)
+            if expected is None:
+                # Scale-fixed semantics: infer the job's scale from its
+                # completed rounds — they must all agree.
+                counts = [
+                    self._task_count.get((job, r), 0) for r in rounds
+                ]
+                expected = max(set(counts), key=counts.count) if counts else 0
+            for r in rounds:
+                count = self._task_count.get((job, r), 0)
+                if count != expected:
+                    self.emit(
+                        Severity.ERROR,
+                        f"job {job} round {r} completed with {count} tasks; "
+                        f"scale-fixed semantics require {expected}",
+                        time=self._barrier[(job, r)],
+                        job=job, round=r, tasks=count, expected=expected,
+                    )
+                start = self._min_start.get((job, r + 1))
+                if (
+                    start is not None
+                    and start < self._barrier[(job, r)] - self.eps
+                ):
+                    self.emit(
+                        Severity.ERROR,
+                        f"job {job} round {r + 1} starts at {start:.6f} "
+                        f"before round {r}'s barrier at "
+                        f"{self._barrier[(job, r)]:.6f}",
+                        time=start,
+                        job=job, round=r + 1,
+                        barrier=self._barrier[(job, r)],
+                    )
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        self._check(ctx)
+
+
+class CommitmentMonotonicityMonitor(Monitor):
+    """The kernel's committed-round counter per job only grows.
+
+    Invariant: each ``kernel.commit`` instant carries the job's new
+    ``rounds_done``; the sequence must be strictly increasing unless an
+    explicit ``kernel.retract`` (GPU crash suffix-retraction) lowered it
+    in between.
+    """
+
+    name = "commitment_monotonicity"
+    invariant = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rounds: dict[int, int] = {}
+        self._retracted: set[int] = set()
+
+    def on_epoch(self, record: Record) -> None:
+        self._rounds.clear()
+        self._retracted.clear()
+
+    def on_record(self, record: Record) -> None:
+        if record.kind != "instant":
+            return
+        if record.name == "kernel.retract":
+            job = int(record.args["job"])
+            self._rounds[job] = int(record.args["rounds_done"])
+            self._retracted.add(job)
+        elif record.name == "kernel.commit":
+            job = int(record.args["job"])
+            rounds_done = int(record.args["rounds_done"])
+            last = self._rounds.get(job)
+            if last is not None and rounds_done <= last:
+                if job in self._retracted:
+                    self._retracted.discard(job)
+                else:
+                    self.emit(
+                        Severity.ERROR,
+                        f"job {job} commitment went {last} -> "
+                        f"{rounds_done} rounds with no retraction",
+                        time=record.time,
+                        job=job, before=last, after=rounds_done,
+                    )
+            self._rounds[job] = rounds_done
+            self._retracted.discard(job)
+
+
+class UtilizationConservationMonitor(Monitor):
+    """Busy time is conserved: no GPU is busier than the clock allows.
+
+    Invariants: on every GPU track, merged compute time fits inside the
+    track's observed ``[first start, last end]`` window; and when the
+    metrics snapshot carries ``sim.train_time_s``, the span-derived total
+    compute agrees with it (the registry and the trace are two books of
+    the same account).
+    """
+
+    name = "utilization_conservation"
+    invariant = True
+
+    def __init__(self, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.eps = eps
+        self._intervals: dict[str, list[tuple[float, float]]] = {}
+
+    def on_record(self, record: Record) -> None:
+        if (
+            record.kind == "span"
+            and record.category == "sim"
+            and record.track.startswith("gpu/")
+        ):
+            self._intervals.setdefault(record.track, []).append(
+                (record.time, record.end)
+            )
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        total_span = 0.0
+        for track, intervals in sorted(self._intervals.items()):
+            busy = sum(e - s for s, e in merge_intervals(intervals))
+            window = (
+                max(e for _, e in intervals) - min(s for s, _ in intervals)
+            )
+            total_span += sum(e - s for s, e in intervals)
+            if busy > window + self.eps:
+                self.emit(
+                    Severity.ERROR,
+                    f"{track} accounts {busy:.6f}s of compute inside a "
+                    f"{window:.6f}s window",
+                    track=track, busy_s=busy, window_s=window,
+                )
+        if ctx.metrics:
+            entry = ctx.metrics.get("sim.train_time_s")
+            if isinstance(entry, Mapping) and "total" in entry:
+                accounted = float(entry["total"])
+                drift = abs(total_span - accounted)
+                if drift > self.eps + 1e-6 * max(1.0, accounted):
+                    self.emit(
+                        Severity.ERROR,
+                        f"span-derived compute {total_span:.6f}s disagrees "
+                        f"with sim.train_time_s accounting "
+                        f"{accounted:.6f}s",
+                        span_total_s=total_span,
+                        metric_total_s=accounted,
+                    )
+
+
+# ----------------------------------------------------------------------
+# Heuristic detectors
+# ----------------------------------------------------------------------
+class ReplanStormMonitor(Monitor):
+    """Too many re-planning passes in a short sim-time window.
+
+    Heuristic: re-planning is the kernel's most expensive reaction; more
+    than ``max_replans`` inside any ``window_s`` stretch usually means a
+    feedback loop (each re-plan waking the policy into another).
+    """
+
+    name = "replan_storm"
+
+    def __init__(self, *, window_s: float = 5.0, max_replans: int = 8) -> None:
+        super().__init__()
+        self.window_s = window_s
+        self.max_replans = max_replans
+        # Plain list: storm windows hold at most a handful of timestamps.
+        self._times: list[float] = []
+        self._reported_until = float("-inf")
+
+    def on_record(self, record: Record) -> None:
+        if record.kind != "instant" or not (
+            record.name == "kernel.replan"
+            or (record.category == "ctrl" and record.name.startswith("replan"))
+        ):
+            return
+        t = record.time
+        self._times.append(t)
+        cutoff = t - self.window_s
+        while self._times and self._times[0] < cutoff:
+            self._times.pop(0)
+        if len(self._times) > self.max_replans and t > self._reported_until:
+            self.emit(
+                Severity.WARNING,
+                f"re-plan storm: {len(self._times)} re-plans within "
+                f"{self.window_s:.1f}s ending at t={t:.3f}",
+                time=t,
+                replans=len(self._times),
+                window_s=self.window_s,
+            )
+            self._reported_until = t + self.window_s
+
+
+
+class JobStarvationMonitor(Monitor):
+    """A job waits far longer than its peers before first compute.
+
+    Heuristic: with weighted-JCT objectives some queueing is expected;
+    a single job waiting ``factor``× the median peer wait (and at least
+    ``min_wait_s``) is starvation-shaped and worth a look.
+    """
+
+    name = "job_starvation"
+
+    def __init__(self, *, factor: float = 20.0, min_wait_s: float = 1.0,
+                 min_jobs: int = 4) -> None:
+        super().__init__()
+        self.factor = factor
+        self.min_wait_s = min_wait_s
+        self.min_jobs = min_jobs
+        self._arrival: dict[int, float] = {}
+        self._first_start: dict[int, float] = {}
+
+    def on_epoch(self, record: Record) -> None:
+        self._arrival.clear()
+        self._first_start.clear()
+
+    def on_record(self, record: Record) -> None:
+        if record.kind == "instant" and record.name == "JOB_ARRIVED":
+            job = record.args.get("job")
+            if job is not None:
+                self._arrival.setdefault(int(job), record.time)
+        elif (
+            record.kind == "span"
+            and record.category == "sim"
+            and record.track.startswith("gpu/")
+        ):
+            job = record.args.get("job")
+            if job is not None:
+                job = int(job)
+                prev = self._first_start.get(job)
+                if prev is None or record.time < prev:
+                    self._first_start[job] = record.time
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        arrivals = dict(self._arrival)
+        if ctx.instance is not None:
+            try:
+                for job in ctx.instance.jobs:
+                    arrivals.setdefault(job.job_id, job.arrival)
+            except AttributeError:
+                pass
+        waits = {
+            job: self._first_start[job] - t0
+            for job, t0 in arrivals.items()
+            if job in self._first_start
+        }
+        if len(waits) < self.min_jobs:
+            return
+        typical = median(sorted(waits.values()))
+        threshold = max(self.min_wait_s, self.factor * max(typical, 1e-9))
+        for job, wait in sorted(waits.items()):
+            if wait > threshold:
+                self.emit(
+                    Severity.WARNING,
+                    f"job {job} waited {wait:.3f}s for its first task "
+                    f"(median peer wait {typical:.3f}s)",
+                    time=arrivals[job],
+                    job=job, wait_s=wait, median_wait_s=typical,
+                )
+
+
+class UtilizationCollapseMonitor(Monitor):
+    """The whole cluster idles while ready work exists.
+
+    Heuristic: merge every GPU's compute intervals; an interior gap longer
+    than ``gap_frac`` of the horizon (and ``min_gap_s``) during which some
+    later-run task was already ready (its round's barrier — or its job's
+    arrival — predates the gap) means the cluster collapsed to zero
+    utilization with runnable work on the table.
+    """
+
+    name = "utilization_collapse"
+
+    def __init__(self, *, gap_frac: float = 0.25, min_gap_s: float = 1.0) -> None:
+        super().__init__()
+        self.gap_frac = gap_frac
+        self.min_gap_s = min_gap_s
+        self._intervals: list[tuple[float, float]] = []
+        #: (start, job, round) of every compute span
+        self._tasks: list[tuple[float, int, int]] = []
+        self._barrier: dict[tuple[int, int], float] = {}
+        self._arrival: dict[int, float] = {}
+
+    def on_record(self, record: Record) -> None:
+        if (
+            record.kind == "span"
+            and record.category == "sim"
+            and record.track.startswith("gpu/")
+        ):
+            self._intervals.append((record.time, record.end))
+            job, rnd = record.args.get("job"), record.args.get("round")
+            if job is not None and rnd is not None:
+                self._tasks.append((record.time, int(job), int(rnd)))
+        elif record.kind == "instant":
+            if record.name == "JOB_ARRIVED":
+                job = record.args.get("job")
+                if job is not None:
+                    self._arrival.setdefault(int(job), record.time)
+            elif record.name.startswith("barrier"):
+                job, rnd = record.args.get("job"), record.args.get("round")
+                if job is not None and rnd is not None:
+                    self._barrier[(int(job), int(rnd))] = record.time
+
+    def _ready_time(
+        self, ctx: DiagnosisContext, job: int, rnd: int
+    ) -> float | None:
+        if rnd > 0:
+            return self._barrier.get((job, rnd - 1))
+        if job in self._arrival:
+            return self._arrival[job]
+        if ctx.instance is not None:
+            try:
+                return ctx.instance.jobs[job].arrival
+            except (AttributeError, IndexError, KeyError):
+                return None
+        return None
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        if not self._intervals:
+            return
+        merged = merge_intervals(self._intervals)
+        horizon = merged[-1][1] - merged[0][0]
+        if horizon <= 0:
+            return
+        threshold = max(self.min_gap_s, self.gap_frac * horizon)
+        for (s0, e0), (s1, _) in zip(merged, merged[1:]):
+            gap = s1 - e0
+            if gap <= threshold:
+                continue
+            # Was anything runnable during the gap?
+            for start, job, rnd in self._tasks:
+                if start < s1 - MONITOR_EPS:
+                    continue
+                ready = self._ready_time(ctx, job, rnd)
+                if ready is not None and ready < e0 + MONITOR_EPS:
+                    self.emit(
+                        Severity.WARNING,
+                        f"utilization collapse: cluster idle for "
+                        f"{gap:.3f}s ({e0:.3f}→{s1:.3f}) while job {job} "
+                        f"round {rnd} was ready since {ready:.3f}",
+                        time=e0,
+                        gap_s=gap, job=job, round=rnd, ready=ready,
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+def default_monitors(instance=None) -> list[Monitor]:
+    """The full catalogue (the *instance* is consumed at finish time)."""
+    return [
+        GpuDoubleBookingMonitor(),
+        RoundBarrierMonitor(),
+        CommitmentMonotonicityMonitor(),
+        UtilizationConservationMonitor(),
+        ReplanStormMonitor(),
+        JobStarvationMonitor(),
+        UtilizationCollapseMonitor(),
+    ]
+
+
+def collect_findings(
+    monitors: Sequence[Monitor],
+    *,
+    records_seen: int = 0,
+    instance=None,
+    metrics: Mapping | None = None,
+    extra: Iterable[Finding] = (),
+) -> DiagnosisReport:
+    """Finish *monitors* and assemble the report, worst findings first."""
+    ctx = DiagnosisContext(instance=instance, metrics=metrics)
+    findings: list[Finding] = list(extra)
+    for monitor in monitors:
+        monitor.finish(ctx)
+        findings.extend(monitor.findings)
+    findings.sort(key=lambda f: (-int(f.severity), f.monitor, f.time or 0.0))
+    return DiagnosisReport(
+        findings=tuple(findings),
+        monitors=tuple(m.name for m in monitors),
+        records_seen=records_seen,
+    )
+
+
+def replay_monitors(
+    records: Iterable[Record],
+    monitors: Sequence[Monitor] | None = None,
+    *,
+    instance=None,
+    metrics: Mapping | None = None,
+) -> DiagnosisReport:
+    """Run monitors post-hoc over a recorded (or loaded) stream."""
+    monitors = default_monitors(instance) if monitors is None else monitors
+    seen = 0
+    for record in records:
+        seen += 1
+        for monitor in monitors:
+            monitor.observe(record)
+    return collect_findings(
+        monitors, records_seen=seen, instance=instance, metrics=metrics
+    )
+
+
+def diagnose_schedule(
+    schedule, *, instance=None, monitors: Sequence[Monitor] | None = None
+) -> DiagnosisReport:
+    """Check an in-memory :class:`~repro.core.schedule.Schedule`.
+
+    Synthesizes the records a simulated replay would have produced —
+    compute spans on GPU tracks, sync spans and barrier instants on job
+    tracks — and streams them through the monitors. This is how a plan
+    can be diagnosed *without* running it (and how tests corrupt a
+    schedule and watch the double-booking monitor object).
+    """
+    instance = instance if instance is not None else schedule.instance
+    records: list[Record] = []
+    seq = 0
+
+    def rec(kind, category, name, track, time, duration=0.0, **args):
+        nonlocal seq
+        records.append(
+            Record(
+                seq=seq, kind=kind, category=category, name=name,
+                track=track, time=time, duration=duration, args=args,
+            )
+        )
+        seq += 1
+
+    assignments = sorted(
+        schedule.assignments.values(), key=lambda a: (a.start, a.task)
+    )
+    round_end: dict[tuple[int, int], float] = {}
+    for a in assignments:
+        key = (a.task.job_id, a.task.round_idx)
+        round_end[key] = max(round_end.get(key, 0.0), a.end)
+        rec(
+            "span", "sim", f"j{a.task.job_id} r{a.task.round_idx}",
+            f"gpu/{a.gpu}", a.start, a.train_time,
+            job=a.task.job_id, round=a.task.round_idx, slot=a.task.slot,
+        )
+        if a.sync_time > 0:
+            rec(
+                "span", "sync",
+                f"sync j{a.task.job_id} r{a.task.round_idx}",
+                f"job/{a.task.job_id}", a.compute_end, a.sync_time,
+                job=a.task.job_id, round=a.task.round_idx, gpu=a.gpu,
+            )
+    for (job, rnd), end in sorted(round_end.items(), key=lambda kv: kv[1]):
+        rec(
+            "instant", "sync", f"barrier j{job} r{rnd}", f"job/{job}",
+            end, job=job, round=rnd,
+        )
+    records.sort(key=lambda r: (r.time, r.seq))
+    return replay_monitors(records, monitors, instance=instance)

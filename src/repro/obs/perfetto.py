@@ -11,7 +11,10 @@ load directly:
   ``ctrl``, ``scheduler``) — enforced via ``thread_sort_index`` metadata;
 * spans export as complete events (``ph: "X"``), instants as thread-scoped
   instant events (``ph: "i"``), flows as ``ph: "s"`` / ``ph: "f"`` pairs
-  (rendered as arrows, e.g. round barrier → next-round task start).
+  (rendered as arrows, e.g. round barrier → next-round task start);
+* sampled metric timelines (see :meth:`MetricsRegistry.sample`) export as
+  counter events (``ph: "C"``) — the viewers render each metric name as a
+  value-over-time curve (queue depth, busy GPUs) under the same process.
 
 Output is **byte-stable**: events are sorted on fully deterministic keys,
 JSON keys are sorted, and wall-clock profiling spans are excluded unless
@@ -25,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Mapping
 
+from .metrics import MetricsRegistry
 from .trace import Tracer
 
 #: ``displayTimeUnit`` accepted by the viewers.
@@ -63,10 +67,20 @@ def chrome_trace(
     tracers: Tracer | Mapping[str, Tracer],
     *,
     include_wall: bool = False,
+    metrics: MetricsRegistry | Mapping[str, MetricsRegistry] | None = None,
 ) -> dict:
-    """Build the Chrome trace-event JSON object for one or more tracers."""
+    """Build the Chrome trace-event JSON object for one or more tracers.
+
+    *metrics* (a registry, or a mapping keyed like *tracers*) contributes
+    counter tracks: every timeline sampled via
+    :meth:`MetricsRegistry.sample` becomes a ``ph: "C"`` curve under the
+    matching process.
+    """
     if isinstance(tracers, Tracer):
         tracers = {"repro": tracers}
+    if isinstance(metrics, MetricsRegistry):
+        metrics = {next(iter(tracers)): metrics}
+    metrics = metrics or {}
 
     meta: list[dict] = []
     timed: list[dict] = []
@@ -162,6 +176,21 @@ def chrome_trace(
                     **common,
                 }
             )
+        registry = metrics.get(process_name)
+        if registry is not None:
+            for metric_name, curve in registry.timeline().items():
+                for sample_time, value in curve:
+                    timed.append(
+                        {
+                            "ph": "C",
+                            "cat": "metric",
+                            "name": metric_name,
+                            "pid": pid,
+                            "tid": 0,
+                            "ts": _us(sample_time),
+                            "args": {"value": value},
+                        }
+                    )
         if include_wall and tracer.wall_spans:
             wall_tracks = sorted({w.track for w in tracer.wall_spans})
             wall_pid, wall_tids = add_process(
@@ -199,11 +228,14 @@ def chrome_trace(
 
 
 def trace_json(
-    tracers: Tracer | Mapping[str, Tracer], *, include_wall: bool = False
+    tracers: Tracer | Mapping[str, Tracer],
+    *,
+    include_wall: bool = False,
+    metrics: MetricsRegistry | Mapping[str, MetricsRegistry] | None = None,
 ) -> str:
     """The byte-stable JSON string for :func:`chrome_trace`."""
     return json.dumps(
-        chrome_trace(tracers, include_wall=include_wall),
+        chrome_trace(tracers, include_wall=include_wall, metrics=metrics),
         sort_keys=True,
         separators=(",", ":"),
     ) + "\n"
@@ -214,11 +246,14 @@ def write_trace(
     path: str | Path,
     *,
     include_wall: bool = False,
+    metrics: MetricsRegistry | Mapping[str, MetricsRegistry] | None = None,
 ) -> Path:
     """Write the Perfetto-loadable trace JSON to *path*."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(trace_json(tracers, include_wall=include_wall))
+    path.write_text(
+        trace_json(tracers, include_wall=include_wall, metrics=metrics)
+    )
     return path
 
 
@@ -228,6 +263,7 @@ _REQUIRED_BY_PH = {
     "i": ("name", "cat", "pid", "tid", "ts", "s"),
     "s": ("name", "cat", "pid", "tid", "ts", "id"),
     "f": ("name", "cat", "pid", "tid", "ts", "id", "bp"),
+    "C": ("name", "cat", "pid", "tid", "ts", "args"),
 }
 
 

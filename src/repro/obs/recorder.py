@@ -1,0 +1,349 @@
+"""The flight recorder: a bounded-ring, spill-to-JSONL structured event log.
+
+The tracer answers "what does this run look like in Perfetto"; the flight
+recorder answers "what happened, in order, and can something *watch* it as
+it streams by". It subscribes to a :class:`~repro.obs.trace.Tracer` as its
+``sink``: every span, instant, flow arrow and wall-clock phase the run
+emits is normalized into a flat :class:`Record` with a monotonic sequence
+number and appended to a bounded ring. When the ring is full the oldest
+records are evicted — spilled to a JSONL file when ``spill_path`` is set,
+counted as :attr:`FlightRecorder.dropped` otherwise — so recording a long
+run costs bounded memory.
+
+Three consumers sit on top:
+
+* **queries** — :meth:`FlightRecorder.query` filters the in-memory window
+  by kind/category/track/name/time, and :meth:`FlightRecorder.span_stats`
+  aggregates span durations (count/total/mean/max) for the harness and the
+  ``repro record`` / ``repro replay`` CLI;
+* **streaming monitors** — objects attached via
+  :meth:`FlightRecorder.attach` receive every record at emission time (the
+  ring may long have evicted it); :meth:`FlightRecorder.diagnose` collects
+  their findings into a
+  :class:`~repro.obs.monitors.DiagnosisReport`;
+* **replay** — :meth:`FlightRecorder.dump` writes the full history (spill
+  + ring) as schema-versioned JSONL, and :meth:`load_flight_log` reads it
+  back so monitors can re-run post-hoc on another machine.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Mapping
+
+#: Flight-log schema identifier (the JSONL header line), bumped on
+#: breaking layout changes.
+FLIGHT_SCHEMA = "repro.flight-log/1"
+
+
+@dataclass(slots=True)
+class Record:
+    """One normalized observability event.
+
+    ``kind`` is one of ``"span"`` (sim-time extent), ``"instant"`` (point
+    event), ``"flow"`` (causal arrow; ``time`` is the source end, the
+    destination lands in ``args``) or ``"wall"`` (wall-clock phase timing
+    of the tooling itself, in the wall domain).
+
+    Not frozen — the dataclass is on the recorder's hot path and frozen
+    construction costs an ``object.__setattr__`` per field — but treat
+    instances as immutable: the ring, the spill file and every monitor
+    share them.
+    """
+
+    seq: int
+    kind: str
+    category: str
+    name: str
+    track: str
+    time: float
+    duration: float = 0.0
+    args: Mapping = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+    def to_json(self) -> dict:
+        out = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "cat": self.category,
+            "name": self.name,
+            "track": self.track,
+            "t": self.time,
+        }
+        if self.duration:
+            out["dur"] = self.duration
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    @classmethod
+    def from_json(cls, obj: Mapping) -> "Record":
+        return cls(
+            seq=int(obj["seq"]),
+            kind=str(obj["kind"]),
+            category=str(obj["cat"]),
+            name=str(obj["name"]),
+            track=str(obj["track"]),
+            time=float(obj["t"]),
+            duration=float(obj.get("dur", 0.0)),
+            args=dict(obj.get("args", {})),
+        )
+
+
+class FlightRecorder:
+    """Bounded-ring structured event log with streaming observers.
+
+    Implements the tracer sink protocol (``on_span`` / ``on_instant`` /
+    ``on_flow`` / ``on_wall``); install it by building the tracer with
+    ``sink=recorder`` — :meth:`repro.obs.Obs.start` does this when asked
+    to ``record``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        *,
+        spill_path: str | Path | None = None,
+        monitors: Iterable = (),
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"recorder capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.spill_path = Path(spill_path) if spill_path is not None else None
+        self.monitors = list(monitors)
+        self.dropped = 0
+        self._ring: deque[Record] = deque()
+        self._seq = 0
+        self._spill_file: IO[str] | None = None
+        self._spilled = 0
+
+    # -- core ----------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        category: str,
+        name: str,
+        *,
+        track: str,
+        time: float,
+        duration: float = 0.0,
+        args: Mapping | None = None,
+    ) -> Record:
+        rec = Record(
+            self._seq, kind, category, name, track, time, duration,
+            args if args is not None else {},
+        )
+        self._seq += 1
+        ring = self._ring
+        ring.append(rec)
+        if len(ring) > self.capacity:
+            self._evict(ring.popleft())
+        for monitor in self.monitors:
+            monitor.observe(rec)
+        return rec
+
+    def _evict(self, rec: Record) -> None:
+        if self.spill_path is None:
+            self.dropped += 1
+            return
+        if self._spill_file is None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self._spill_file = self.spill_path.open("w")
+        self._spill_file.write(json.dumps(rec.to_json(), sort_keys=True))
+        self._spill_file.write("\n")
+        self._spilled += 1
+
+    # -- tracer sink protocol -------------------------------------------
+    def on_span(self, ev) -> None:
+        self.record(
+            "span", ev.category.value, ev.name,
+            track=ev.track, time=ev.start, duration=ev.duration,
+            args=ev.args,
+        )
+
+    def on_instant(self, ev) -> None:
+        self.record(
+            "instant", ev.category.value, ev.name,
+            track=ev.track, time=ev.time, args=ev.args,
+        )
+
+    def on_flow(self, ev) -> None:
+        self.record(
+            "flow", ev.category.value, ev.name,
+            track=ev.src_track, time=ev.src_time,
+            duration=max(0.0, ev.dst_time - ev.src_time),
+            args={"dst_track": ev.dst_track, "dst_time": ev.dst_time},
+        )
+
+    def on_wall(self, ev) -> None:
+        self.record(
+            "wall", ev.category.value, ev.name,
+            track=ev.track, time=ev.start, duration=ev.duration,
+            args=ev.args,
+        )
+
+    # -- views ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def seen(self) -> int:
+        """Total records ever recorded (evicted ones included)."""
+        return self._seq
+
+    def records(self) -> list[Record]:
+        """The in-memory window, oldest first."""
+        return list(self._ring)
+
+    def query(
+        self,
+        *,
+        kind: str | None = None,
+        category: str | None = None,
+        name: str | None = None,
+        track: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        limit: int | None = None,
+    ) -> list[Record]:
+        """Filter the in-memory window.
+
+        ``name``/``track`` match exactly, or as a prefix when they end with
+        ``*``; ``since``/``until`` bound the record's start time
+        (inclusive / exclusive). Results keep emission order; ``limit``
+        keeps the first N matches.
+        """
+
+        def field_match(pattern: str | None, value: str) -> bool:
+            if pattern is None:
+                return True
+            if pattern.endswith("*"):
+                return value.startswith(pattern[:-1])
+            return value == pattern
+
+        out: list[Record] = []
+        for rec in self._ring:
+            if kind is not None and rec.kind != kind:
+                continue
+            if category is not None and rec.category != category:
+                continue
+            if not field_match(name, rec.name):
+                continue
+            if not field_match(track, rec.track):
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time >= until:
+                continue
+            out.append(rec)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def span_stats(
+        self,
+        *,
+        category: str | None = None,
+        name: str | None = None,
+        track: str | None = None,
+        kind: str = "span",
+    ) -> dict:
+        """Aggregate span durations over the in-memory window."""
+        spans = self.query(
+            kind=kind, category=category, name=name, track=track
+        )
+        if not spans:
+            return {"count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
+        durations = [s.duration for s in spans]
+        return {
+            "count": len(durations),
+            "total_s": sum(durations),
+            "mean_s": sum(durations) / len(durations),
+            "max_s": max(durations),
+        }
+
+    # -- monitors ------------------------------------------------------
+    def attach(self, monitor) -> None:
+        """Subscribe *monitor* to every future record."""
+        self.monitors.append(monitor)
+
+    def diagnose(self, *, instance=None, metrics: Mapping | None = None):
+        """Finish the attached monitors and collect their findings.
+
+        Returns a :class:`~repro.obs.monitors.DiagnosisReport`. Safe to
+        call with no monitors attached (the report is empty).
+        """
+        from .monitors import collect_findings
+
+        return collect_findings(
+            self.monitors,
+            records_seen=self._seq,
+            instance=instance,
+            metrics=metrics,
+        )
+
+    # -- persistence ---------------------------------------------------
+    def _flush_spill(self) -> None:
+        if self._spill_file is not None:
+            self._spill_file.flush()
+
+    def _spilled_records(self) -> Iterator[Record]:
+        if self._spilled == 0 or self.spill_path is None:
+            return iter(())
+        self._flush_spill()
+        return (
+            Record.from_json(json.loads(line))
+            for line in self.spill_path.read_text().splitlines()
+            if line.strip()
+        )
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the full history (spill + ring) as JSONL with a header."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            fh.write(json.dumps(
+                {
+                    "schema": FLIGHT_SCHEMA,
+                    "records": self._spilled + len(self._ring),
+                    "dropped": self.dropped,
+                },
+                sort_keys=True,
+            ))
+            fh.write("\n")
+            for rec in self._spilled_records():
+                fh.write(json.dumps(rec.to_json(), sort_keys=True))
+                fh.write("\n")
+            for rec in self._ring:
+                fh.write(json.dumps(rec.to_json(), sort_keys=True))
+                fh.write("\n")
+        return path
+
+    def close(self) -> None:
+        if self._spill_file is not None:
+            self._spill_file.close()
+            self._spill_file = None
+
+
+def load_flight_log(path: str | Path) -> list[Record]:
+    """Read a :meth:`FlightRecorder.dump` JSONL back into records."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path} is empty, not a flight log")
+    header = json.loads(lines[0])
+    if header.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {FLIGHT_SCHEMA} flight log "
+            f"(schema={header.get('schema')!r})"
+        )
+    return [
+        Record.from_json(json.loads(line))
+        for line in lines[1:]
+        if line.strip()
+    ]

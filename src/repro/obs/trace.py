@@ -103,9 +103,24 @@ class WallSpan:
 
 @dataclass(slots=True)
 class Tracer:
-    """Collects structured events for one run."""
+    """Collects structured events for one run.
+
+    ``sink`` (optional) receives every event as it is emitted via the
+    sink protocol (``on_span`` / ``on_instant`` / ``on_flow`` /
+    ``on_wall``) — this is how the flight recorder subscribes. With
+    ``keep=False`` events are *only* forwarded, not retained, so a
+    recorder-equipped run pays no unbounded list growth when nobody
+    wants the Perfetto export; on that path spans and instants skip the
+    event object entirely and call ``sink.record(...)`` directly, so a
+    sink must also expose :meth:`repro.obs.recorder.FlightRecorder.record`'s
+    signature.
+    """
 
     enabled: bool = True
+    #: Retain events in the in-memory lists (the Perfetto export path).
+    keep: bool = True
+    #: Streaming subscriber implementing the sink protocol, or None.
+    sink: object | None = None
     spans: list[SpanEvent] = field(default_factory=list)
     instants: list[InstantEvent] = field(default_factory=list)
     flows: list[FlowEvent] = field(default_factory=list)
@@ -124,16 +139,27 @@ class Tracer:
         end: float,
         **args,
     ) -> None:
-        self.spans.append(
-            SpanEvent(
-                category=category,
-                name=name,
-                track=track,
-                start=start,
-                duration=max(0.0, end - start),
-                args=args,
-            )
+        if not self.keep:
+            if self.sink is not None:
+                # Fast path: no retained event object, feed the recorder
+                # directly (it normalizes into its own Record type anyway).
+                self.sink.record(
+                    "span", category.value, name,
+                    track=track, time=start,
+                    duration=max(0.0, end - start), args=args,
+                )
+            return
+        ev = SpanEvent(
+            category=category,
+            name=name,
+            track=track,
+            start=start,
+            duration=max(0.0, end - start),
+            args=args,
         )
+        self.spans.append(ev)
+        if self.sink is not None:
+            self.sink.on_span(ev)
 
     def instant(
         self,
@@ -144,11 +170,19 @@ class Tracer:
         time: float,
         **args,
     ) -> None:
-        self.instants.append(
-            InstantEvent(
-                category=category, name=name, track=track, time=time, args=args
-            )
+        if not self.keep:
+            if self.sink is not None:
+                self.sink.record(
+                    "instant", category.value, name,
+                    track=track, time=time, args=args,
+                )
+            return
+        ev = InstantEvent(
+            category=category, name=name, track=track, time=time, args=args
         )
+        self.instants.append(ev)
+        if self.sink is not None:
+            self.sink.on_instant(ev)
 
     def flow(
         self,
@@ -161,17 +195,19 @@ class Tracer:
         dst_track: str,
         dst_time: float,
     ) -> None:
-        self.flows.append(
-            FlowEvent(
-                flow_id=flow_id,
-                category=category,
-                name=name,
-                src_track=src_track,
-                src_time=src_time,
-                dst_track=dst_track,
-                dst_time=dst_time,
-            )
+        ev = FlowEvent(
+            flow_id=flow_id,
+            category=category,
+            name=name,
+            src_track=src_track,
+            src_time=src_time,
+            dst_track=dst_track,
+            dst_time=dst_time,
         )
+        if self.keep:
+            self.flows.append(ev)
+        if self.sink is not None:
+            self.sink.on_flow(ev)
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -197,16 +233,18 @@ class Tracer:
             yield
         finally:
             duration = _time.perf_counter() - t0
-            self.wall_spans.append(
-                WallSpan(
-                    category=category,
-                    name=name,
-                    track=track,
-                    start=t0 - self._wall_epoch,
-                    duration=duration,
-                    args=args,
-                )
+            ev = WallSpan(
+                category=category,
+                name=name,
+                track=track,
+                start=t0 - self._wall_epoch,
+                duration=duration,
+                args=args,
             )
+            if self.keep:
+                self.wall_spans.append(ev)
+            if self.sink is not None:
+                self.sink.on_wall(ev)
             if hist is not None:
                 hist.observe(duration)
 

@@ -176,7 +176,8 @@ class ClusterSimulator:
         pool = ParameterServerPool(instance)
         telemetry = Telemetry(num_gpus=instance.num_gpus)
         realized = Schedule(instance)
-        tracer = obs_current().tracer
+        obs = obs_current()
+        tracer = obs.tracer
 
         def flow_id(task) -> int:
             # Deterministic id per (job, round, slot): one arrow from the
@@ -223,6 +224,10 @@ class ClusterSimulator:
                     retained_hit=started.retained_hit,
                 )
             in_flight[executor.gpu_id] = started
+            # Busy-GPU curve, sampled at deterministic sim times so the
+            # exported counter track is byte-stable.
+            obs.metrics.gauge("sim.gpus_busy").set(len(in_flight))
+            obs.metrics.sample("sim.gpus_busy", started.start)
             task = started.assignment.task
             if tracer.enabled and task.round_idx > 0:
                 # Arrow: previous round's barrier released this task.
@@ -258,6 +263,10 @@ class ClusterSimulator:
             if executor.running is None or executor.started != serial:
                 return  # stale completion of a crashed attempt
             started = in_flight.pop(executor.gpu_id)
+            obs.metrics.gauge("sim.gpus_busy").set(len(in_flight))
+            obs.metrics.sample("sim.gpus_busy", event.time)
+            obs.metrics.counter("sim.tasks_completed").inc()
+            obs.metrics.sample("sim.tasks_completed", event.time)
             task = started.assignment.task
             if tracer.enabled:
                 track = gpu_track(executor.gpu_id)
@@ -316,6 +325,8 @@ class ClusterSimulator:
                     track=job_track(task.job_id),
                     start=event.time,
                     end=event.time + sync_time,
+                    job=task.job_id,
+                    round=task.round_idx,
                     gpu=executor.gpu_id,
                     slot=task.slot,
                 )
@@ -338,6 +349,7 @@ class ClusterSimulator:
                         f"barrier j{task.job_id} r{task.round_idx}",
                         track=job_track(task.job_id),
                         time=event.time,
+                        job=task.job_id,
                         round=task.round_idx,
                     )
                 # The barrier opened: next-round tasks may be heads.
@@ -356,6 +368,8 @@ class ClusterSimulator:
                 )
             if executor.running is not None:
                 started = in_flight.pop(executor.gpu_id)
+                obs.metrics.gauge("sim.gpus_busy").set(len(in_flight))
+                obs.metrics.sample("sim.gpus_busy", event.time)
                 wasted = max(0.0, event.time - started.start)
                 telemetry.record_abort(wasted)
                 executor.abort_running()
@@ -383,6 +397,8 @@ class ClusterSimulator:
                 )
             if executor.running is not None:
                 started = in_flight.pop(executor.gpu_id)
+                obs.metrics.gauge("sim.gpus_busy").set(len(in_flight))
+                obs.metrics.sample("sim.gpus_busy", event.time)
                 wasted = max(0.0, event.time - started.start)
                 telemetry.record_abort(wasted)
                 executor.abort_running()

@@ -29,6 +29,9 @@ class _CallableMetric(float):
     properties now. The property returns this float subclass so legacy
     call sites keep working (with a :class:`DeprecationWarning`) while new
     code reads the value directly.
+
+    Hard-deprecated: the callable form will be removed in PR 6, after
+    which these properties return plain floats.
     """
 
     __slots__ = ("_alias",)
@@ -40,8 +43,8 @@ class _CallableMetric(float):
 
     def __call__(self) -> float:
         warnings.warn(
-            f"Telemetry.{self._alias}() is deprecated; "
-            f"read the {self._alias!r} property instead",
+            f"Telemetry.{self._alias}() is deprecated and will be removed "
+            f"in PR 6; read the {self._alias!r} property instead",
             DeprecationWarning,
             stacklevel=2,
         )

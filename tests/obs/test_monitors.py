@@ -1,0 +1,263 @@
+"""Streaming monitors: invariants on real runs, pinned violations on
+corrupted fixtures, epoch resets, and heuristic detectors."""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.obs import Severity, default_monitors, diagnose_schedule
+from repro.obs.monitors import (
+    CommitmentMonotonicityMonitor,
+    GpuDoubleBookingMonitor,
+    JobStarvationMonitor,
+    ReplanStormMonitor,
+    collect_findings,
+    replay_monitors,
+)
+from repro.obs.recorder import Record
+
+
+def span(seq, name, track, t, dur, **args):
+    return Record(seq, "span", "sim", name, track, t, dur, args)
+
+
+def instant(seq, cat, name, track, t, **args):
+    return Record(seq, "instant", cat, name, track, t, 0.0, args)
+
+
+class TestCleanRuns:
+    def test_planned_run_has_no_findings(self):
+        r = api.run_experiment(
+            gpus=4, jobs=5, scheduler="hare", seed=3, rounds_scale=0.2,
+            trace=False, monitors=True,
+        )
+        assert r.diagnosis is not None
+        assert r.diagnosis.ok
+        assert r.diagnosis.invariant_violations() == []
+        assert r.diagnosis.records_seen > 0
+
+    @pytest.mark.parametrize(
+        "name",
+        ["gavel_fifo", "gavel_ts", "hare", "hare_online", "sched_allox",
+         "sched_homo", "srtf"],
+    )
+    def test_streaming_run_no_invariant_violations(self, name):
+        """Acceptance pin: every registered scheduler, driven through the
+        kernel with monitors attached, violates no invariant."""
+        r = api.run_experiment(
+            gpus=5, jobs=5, scheduler=name, seed=11, rounds_scale=0.2,
+            arrivals="streaming", trace=False, monitors=True,
+        )
+        assert r.diagnosis is not None
+        assert r.diagnosis.invariant_violations() == []
+
+
+class TestCorruptedSchedule:
+    def test_double_booked_schedule_trips_invariant(self):
+        """Acceptance pin: cloning one assignment onto another task's GPU
+        and start time produces a gpu_double_booking ERROR."""
+        r = api.run_experiment(
+            gpus=4, jobs=5, scheduler="hare", seed=3, rounds_scale=0.2,
+            simulate=False, trace=False,
+        )
+        sched = r.plan
+        tasks = sorted(sched.assignments)
+        victim, donor = tasks[0], tasks[1]
+        sched.assignments[victim] = dataclasses.replace(
+            sched.assignments[victim],
+            gpu=sched.assignments[donor].gpu,
+            start=sched.assignments[donor].start,
+        )
+        report = diagnose_schedule(sched, instance=r.instance)
+        assert not report.ok
+        booked = [
+            f for f in report.invariant_violations()
+            if f.monitor == "gpu_double_booking"
+        ]
+        assert booked, report.summary()
+        assert booked[0].severity is Severity.ERROR
+        assert booked[0].invariant
+
+    def test_clean_schedule_diagnoses_ok(self):
+        r = api.run_experiment(
+            gpus=4, jobs=5, scheduler="hare", seed=3, rounds_scale=0.2,
+            simulate=False, trace=False,
+        )
+        assert diagnose_schedule(r.plan, instance=r.instance).ok
+
+
+class TestGpuDoubleBooking:
+    def test_overlap_detected_out_of_order(self):
+        mon = GpuDoubleBookingMonitor()
+        # Later span arrives first: the check is order-independent.
+        mon.observe(span(0, "j1 r0", "gpu/0", 5.0, 2.0, job=1))
+        mon.observe(span(1, "j0 r0", "gpu/0", 4.0, 3.0, job=0))
+        assert mon.findings
+        assert mon.findings[0].severity is Severity.ERROR
+
+    def test_distinct_gpus_do_not_conflict(self):
+        mon = GpuDoubleBookingMonitor()
+        mon.observe(span(0, "j0 r0", "gpu/0", 0.0, 2.0))
+        mon.observe(span(1, "j1 r0", "gpu/1", 0.0, 2.0))
+        assert mon.findings == []
+
+    def test_back_to_back_is_fine(self):
+        mon = GpuDoubleBookingMonitor()
+        mon.observe(span(0, "j0 r0", "gpu/0", 0.0, 2.0))
+        mon.observe(span(1, "j1 r0", "gpu/0", 2.0, 2.0))
+        assert mon.findings == []
+
+
+class TestCommitmentMonotonicity:
+    def test_regressing_commit_without_retract_fires(self):
+        mon = CommitmentMonotonicityMonitor()
+        mon.observe(
+            instant(0, "sched", "kernel.commit", "kernel", 1.0,
+                    job=0, rounds_done=3)
+        )
+        mon.observe(
+            instant(1, "sched", "kernel.commit", "kernel", 2.0,
+                    job=0, rounds_done=2)
+        )
+        assert mon.findings
+        assert mon.findings[0].invariant
+
+    def test_retract_licenses_the_rollback(self):
+        mon = CommitmentMonotonicityMonitor()
+        mon.observe(
+            instant(0, "sched", "kernel.commit", "kernel", 1.0,
+                    job=0, rounds_done=3)
+        )
+        mon.observe(
+            instant(1, "sched", "kernel.retract", "kernel", 1.5,
+                    job=0, rounds_done=1, gpu=2)
+        )
+        mon.observe(
+            instant(2, "sched", "kernel.commit", "kernel", 2.0,
+                    job=0, rounds_done=2)
+        )
+        assert mon.findings == []
+
+    def test_epoch_mark_resets_job_namespace(self):
+        """Chaos recovery renumbers jobs; a ctrl replan* instant must
+        clear per-job state so the new namespace starts fresh."""
+        mon = CommitmentMonotonicityMonitor()
+        mon.observe(
+            instant(0, "sched", "kernel.commit", "kernel", 1.0,
+                    job=0, rounds_done=5)
+        )
+        mon.observe(
+            instant(1, "ctrl", "replan after gpu 2 crash", "controlplane",
+                    2.0, dead_gpu=2)
+        )
+        mon.observe(
+            instant(2, "sched", "kernel.commit", "kernel", 3.0,
+                    job=0, rounds_done=1)
+        )
+        assert mon.findings == []
+
+
+class TestHeuristics:
+    def test_replan_storm_fires_on_burst(self):
+        mon = ReplanStormMonitor(window_s=5.0, max_replans=3)
+        for i in range(5):
+            mon.observe(
+                instant(i, "sched", "kernel.replan", "kernel",
+                        1.0 + 0.1 * i, pass_idx=i)
+            )
+        assert mon.findings
+        assert mon.findings[0].severity is Severity.WARNING
+        assert not mon.findings[0].invariant
+
+    def test_spread_out_replans_are_quiet(self):
+        mon = ReplanStormMonitor(window_s=5.0, max_replans=3)
+        for i in range(5):
+            mon.observe(
+                instant(i, "sched", "kernel.replan", "kernel",
+                        10.0 * i, pass_idx=i)
+            )
+        assert mon.findings == []
+
+    def test_starvation_fires_on_outlier_wait(self):
+        mon = JobStarvationMonitor(factor=5.0, min_wait_s=1.0, min_jobs=3)
+        records = []
+        seq = 0
+        for job in range(4):
+            records.append(
+                instant(seq, "sched", "JOB_ARRIVED", "kernel", 0.0, job=job)
+            )
+            seq += 1
+        # Jobs 0-2 start promptly; job 3 waits 50 s.
+        for job, start in [(0, 0.1), (1, 0.2), (2, 0.3), (3, 50.0)]:
+            records.append(
+                span(seq, f"j{job} r0", f"gpu/{job}", start, 1.0,
+                     job=job, round=0)
+            )
+            seq += 1
+        for rec in records:
+            mon.observe(rec)
+        report = collect_findings(
+            [mon], records_seen=len(records), instance=None, metrics=None,
+        )
+        starved = [f for f in report.findings if f.monitor == "job_starvation"]
+        assert starved
+        assert starved[0].severity is Severity.WARNING
+
+
+class TestReplay:
+    def test_replay_matches_live_diagnosis(self):
+        r = api.run_experiment(
+            gpus=4, jobs=4, scheduler="hare_online", seed=5,
+            rounds_scale=0.2, arrivals="streaming", trace=False,
+            monitors=True,
+        )
+        records = r.obs.recorder.records()
+        replayed = replay_monitors(
+            records, instance=r.instance,
+            metrics=r.metrics_snapshot(),
+        )
+        assert replayed.ok == r.diagnosis.ok
+        assert len(replayed.findings) == len(r.diagnosis.findings)
+
+    def test_default_monitors_cover_the_catalogue(self):
+        names = {m.name for m in default_monitors()}
+        assert names == {
+            "gpu_double_booking", "round_barrier",
+            "commitment_monotonicity", "utilization_conservation",
+            "replan_storm", "job_starvation", "utilization_collapse",
+        }
+
+
+class TestChaosRuns:
+    @pytest.mark.parametrize("name", ["hare", "gavel_fifo"])
+    def test_chaos_recovery_violates_no_invariants(self, name):
+        """Acceptance pin: the full crash→detect→rollback→re-plan pipeline,
+        watched end to end, keeps every invariant (epoch marks reset the
+        per-phase job-id namespace; the muted failure-free reference run
+        must not leak counterfactual spans into the stream)."""
+        from repro.cluster import testbed_cluster
+        from repro.control import ControlPlane
+        from repro.faults import FaultScenario, GpuCrash, HeartbeatConfig
+        from repro.harness.experiments import make_loaded_workload
+        from repro.obs import Obs, use
+        from repro.schedulers import create
+
+        cluster = testbed_cluster()
+        jobs = make_loaded_workload(
+            8, reference_gpus=cluster.num_gpus, load=1.0, seed=5
+        )
+        plane = ControlPlane(cluster=cluster, scheduler=create(name))
+        plane.submit(jobs)
+        obs = Obs.start(trace=False, record=True, monitors=default_monitors())
+        scenario = FaultScenario(
+            crashes=(GpuCrash(time=8.0, gpu_id=2),)
+        ).validate(cluster.num_gpus)
+        with use(obs):
+            plane.run_chaos(
+                scenario,
+                heartbeat=HeartbeatConfig(interval_s=2.0, lease_s=6.0),
+            )
+        report = obs.recorder.diagnose(metrics=obs.metrics.snapshot())
+        assert report.invariant_violations() == [], report.summary()
+        assert report.records_seen > 0

@@ -103,6 +103,42 @@ class TestChromeTrace:
         assert validate_chrome_trace(chrome_trace(sample_tracer())) > 0
 
 
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.gauge("kernel.queue_depth").set(3.0)
+    reg.sample("kernel.queue_depth", 0.5)
+    reg.gauge("kernel.queue_depth").set(1.0)
+    reg.sample("kernel.queue_depth", 1.5)
+    reg.counter("sim.tasks_completed").inc()
+    reg.sample("sim.tasks_completed", 2.0)
+    return reg
+
+
+class TestCounterTracks:
+    def test_samples_become_counter_events(self):
+        trace = chrome_trace(sample_tracer(), metrics=sample_registry())
+        counters = events_by_phase(trace, "C")
+        assert len(counters) == 3
+        depth = [c for c in counters if c["name"] == "kernel.queue_depth"]
+        assert [(c["ts"], c["args"]["value"]) for c in depth] == [
+            (0.5e6, 3.0), (1.5e6, 1.0)
+        ]
+        assert all(c["cat"] == "metric" and c["tid"] == 0 for c in counters)
+
+    def test_counter_trace_validates(self):
+        trace = chrome_trace(sample_tracer(), metrics=sample_registry())
+        assert validate_chrome_trace(trace) > 0
+
+    def test_counter_export_is_byte_stable(self):
+        a = trace_json(sample_tracer(), metrics=sample_registry())
+        b = trace_json(sample_tracer(), metrics=sample_registry())
+        assert a == b
+
+    def test_no_metrics_means_no_counter_events(self):
+        trace = chrome_trace(sample_tracer())
+        assert events_by_phase(trace, "C") == []
+
+
 class TestByteStability:
     def test_identical_tracers_produce_identical_bytes(self):
         assert trace_json(sample_tracer()) == trace_json(sample_tracer())

@@ -1,0 +1,141 @@
+"""Flight recorder: ring semantics, query API, JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import FLIGHT_SCHEMA, FlightRecorder, load_flight_log
+from repro.obs.context import Obs, use
+from repro.obs.trace import Category
+
+
+def fill(rec, n, *, track="gpu/0"):
+    for i in range(n):
+        rec.record(
+            "span", "sim", f"j0 r{i}", track=track, time=float(i),
+            duration=0.5, args={"job": 0, "round": i},
+        )
+
+
+class TestRing:
+    def test_capacity_bounds_ring(self):
+        rec = FlightRecorder(capacity=4)
+        fill(rec, 10)
+        assert len(rec) == 4
+        assert rec.seen == 10
+        assert rec.dropped == 6
+        # Newest records survive, in seq order.
+        assert [r.seq for r in rec.records()] == [6, 7, 8, 9]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_spill_keeps_evicted_records(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        rec = FlightRecorder(capacity=3, spill_path=spill)
+        fill(rec, 8)
+        assert rec.dropped == 0
+        dump = rec.dump(tmp_path / "flight.jsonl")
+        records = load_flight_log(dump)
+        # Full history survives: spilled prefix stitched before the ring.
+        assert [r.seq for r in records] == list(range(8))
+
+    def test_seq_is_total_emission_order(self):
+        rec = FlightRecorder()
+        rec.record("instant", "ctrl", "a", track="controlplane", time=5.0)
+        rec.record("span", "sim", "b", track="gpu/1", time=1.0)
+        assert [r.seq for r in rec.records()] == [0, 1]
+
+
+class TestQuery:
+    def make(self):
+        rec = FlightRecorder()
+        fill(rec, 5, track="gpu/0")
+        fill(rec, 3, track="gpu/1")
+        rec.record("instant", "sync", "barrier j0 r0", track="job/0", time=2.0)
+        return rec
+
+    def test_filter_by_kind_and_track_prefix(self):
+        rec = self.make()
+        assert len(rec.query(kind="span", track="gpu/*")) == 8
+        assert len(rec.query(track="gpu/1")) == 3
+        assert len(rec.query(kind="instant")) == 1
+
+    def test_name_prefix_and_time_window(self):
+        rec = self.make()
+        assert len(rec.query(name="barrier*")) == 1
+        # since inclusive, until exclusive.
+        got = rec.query(kind="span", track="gpu/0", since=1.0, until=3.0)
+        assert [r.time for r in got] == [1.0, 2.0]
+
+    def test_limit_keeps_earliest(self):
+        rec = self.make()
+        got = rec.query(kind="span", limit=2)
+        assert [r.seq for r in got] == [0, 1]
+
+    def test_span_stats(self):
+        rec = self.make()
+        stats = rec.span_stats(track="gpu/0")
+        assert stats["count"] == 5
+        assert stats["total_s"] == pytest.approx(2.5)
+        assert stats["mean_s"] == pytest.approx(0.5)
+        assert stats["max_s"] == pytest.approx(0.5)
+
+
+class TestDumpLoad:
+    def test_round_trip_preserves_fields(self, tmp_path):
+        rec = FlightRecorder()
+        fill(rec, 3)
+        path = rec.dump(tmp_path / "flight.jsonl")
+        back = load_flight_log(path)
+        assert len(back) == 3
+        assert back[1].kind == "span"
+        assert back[1].category == "sim"
+        assert back[1].name == "j0 r1"
+        assert back[1].track == "gpu/0"
+        assert back[1].time == 1.0
+        assert back[1].duration == 0.5
+        assert back[1].args == {"job": 0, "round": 1}
+
+    def test_header_carries_schema_and_counts(self, tmp_path):
+        rec = FlightRecorder(capacity=2)
+        fill(rec, 5)
+        path = rec.dump(tmp_path / "flight.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == FLIGHT_SCHEMA
+        assert header["dropped"] == 3
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "something/else", "records": 0}\n')
+        with pytest.raises(ValueError, match="schema"):
+            load_flight_log(bad)
+
+
+class TestSinkWiring:
+    def test_obs_start_record_wires_recorder(self):
+        obs = Obs.start(trace=False, record=True)
+        with use(obs):
+            obs.tracer.span(
+                Category.SIM, "j0 r0", track="gpu/0", start=0.0, end=1.0,
+                job=0,
+            )
+            obs.tracer.instant(
+                Category.SYNC, "barrier j0 r0", track="job/0", time=1.0,
+            )
+        assert obs.recorder is not None
+        assert obs.recorder.seen == 2
+        # keep=False: nothing retained on the tracer itself.
+        assert obs.tracer.num_events == 0
+
+    def test_trace_and_record_see_identical_streams(self):
+        both = Obs.start(trace=True, record=True)
+        with use(both):
+            both.tracer.span(
+                Category.SIM, "j0 r0", track="gpu/0", start=0.0, end=1.0,
+            )
+        assert both.tracer.num_events == 1
+        assert both.recorder.seen == 1
+        rec = both.recorder.records()[0]
+        assert (rec.kind, rec.name, rec.duration) == ("span", "j0 r0", 1.0)

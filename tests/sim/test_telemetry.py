@@ -144,3 +144,14 @@ class TestDeprecatedCallableAliases:
             if issubclass(w.category, DeprecationWarning)
         ]
         assert not deprecations
+
+    def test_warning_pins_the_removal_release(self):
+        """Hard deprecation: the message must name the removal PR so the
+        callable shim cannot silently outlive its schedule."""
+        t = Telemetry(num_gpus=1)
+        t.record_task(record(start=1.0, switch=0.5))
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"will be removed in PR 6.*total_switch_time",
+        ):
+            t.total_switch_time()

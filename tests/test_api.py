@@ -229,3 +229,67 @@ class TestStreamingArrivals:
     def test_invalid_mode_rejected(self):
         with pytest.raises(Exception, match="arrivals"):
             run_experiment(scheduler="hare", arrivals="later", **SMALL)
+
+
+class TestDiagnosisAndRecorder:
+    """``record=``/``monitors=`` wire the analysis stack into the facade."""
+
+    @pytest.fixture(scope="class")
+    def monitored_run(self):
+        return run_experiment(
+            scheduler="hare_online", arrivals="streaming",
+            trace=False, monitors=True, **SMALL,
+        )
+
+    def test_monitors_attach_a_diagnosis(self, monitored_run):
+        diagnosis = monitored_run.diagnosis
+        assert diagnosis is not None
+        assert diagnosis.records_seen > 0
+        assert len(diagnosis.monitors) == 7
+        assert diagnosis.invariant_violations() == []
+
+    def test_plain_run_has_no_diagnosis(self, hare_run):
+        assert hare_run.diagnosis is None
+        assert hare_run.obs.recorder is None
+
+    def test_record_without_monitors_keeps_recorder(self):
+        result = run_experiment(
+            scheduler="hare", trace=False, record=True, **SMALL
+        )
+        assert result.obs.recorder is not None
+        assert result.obs.recorder.seen > 0
+        assert result.diagnosis is None
+
+    def test_write_flight_log_round_trips(self, monitored_run, tmp_path):
+        from repro.obs import load_flight_log
+
+        path = monitored_run.write_flight_log(tmp_path / "flight.jsonl")
+        records = load_flight_log(path)
+        assert len(records) == monitored_run.diagnosis.records_seen
+
+    def test_write_flight_log_requires_recorder(self, hare_run, tmp_path):
+        with pytest.raises(ValueError, match="record"):
+            hare_run.write_flight_log(tmp_path / "flight.jsonl")
+
+    def test_manifest_carries_kernel_stats_and_diagnosis(
+        self, monitored_run, tmp_path
+    ):
+        manifest_path = monitored_run.write_manifest(tmp_path / "run.json")
+        manifest = read_manifest(manifest_path)
+        kernel = manifest["results"]["kernel"]
+        assert kernel["events"] == monitored_run.kernel.events
+        assert kernel["commitments"] == monitored_run.kernel.commitments
+        assert kernel["replans"] == monitored_run.kernel.replans
+        diagnosis = manifest["results"]["diagnosis"]
+        assert diagnosis["ok"] is True
+        assert diagnosis["findings"] == 0
+
+    def test_write_baseline_round_trips(self, monitored_run, tmp_path):
+        from repro.obs import read_baseline
+        from repro.obs.baseline import flatten_metrics
+
+        path = monitored_run.write_baseline(tmp_path / "base.json")
+        doc = read_baseline(path)
+        assert doc["config"]["scheduler"] == "hare_online"
+        flat = flatten_metrics(monitored_run.metrics_snapshot())
+        assert doc["metrics"] == pytest.approx(flat)

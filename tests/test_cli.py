@@ -82,3 +82,106 @@ class TestCommands:
     def test_speedups(self, capsys):
         assert main(["speedups"]) == 0
         assert "V100" in capsys.readouterr().out
+
+
+class TestAnalysisCommands:
+    """``repro record`` / ``repro replay`` / ``repro check``."""
+
+    WORKLOAD = ["--jobs", "4", "--gpus", "4", "--seed", "3",
+                "--rounds-scale", "0.1"]
+
+    def test_record_writes_flight_log(self, tmp_path, capsys):
+        out = tmp_path / "flight.jsonl"
+        rc = main(["record", *self.WORKLOAD, "--out", str(out)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert out.exists()
+        assert "diagnosis OK" in text
+
+    def test_replay_filters_and_monitors(self, tmp_path, capsys):
+        log = tmp_path / "flight.jsonl"
+        main(["record", *self.WORKLOAD, "--out", str(log)])
+        capsys.readouterr()
+        rc = main(
+            ["replay", str(log), "--track", "gpu/*", "--limit", "3",
+             "--monitors"]
+        )
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "gpu/" in text
+        assert "diagnosis OK" in text
+
+    def test_replay_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["replay", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+
+    def test_check_reruns_baseline_config_clean(self, tmp_path, capsys):
+        from repro.api import run_experiment
+
+        base = tmp_path / "base.json"
+        result = run_experiment(
+            gpus=4, jobs=4, scheduler="hare", seed=3, rounds_scale=0.1,
+            trace=False,
+        )
+        result.write_baseline(base)
+        rc = main(["check", "--baseline", str(base)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "diagnosis OK" in text
+
+    def test_check_regressed_candidate_exits_1(self, tmp_path, capsys):
+        """Acceptance pin: a synthetic p99 regression makes the CLI exit
+        non-zero and name the drifted metric."""
+        import json
+
+        from repro.api import run_experiment
+        from repro.obs.baseline import flatten_metrics
+
+        base = tmp_path / "base.json"
+        result = run_experiment(
+            gpus=4, jobs=4, scheduler="hare", seed=3, rounds_scale=0.1,
+            trace=False,
+        )
+        result.write_baseline(base)
+        flat = dict(flatten_metrics(result.metrics_snapshot()))
+        key = "sched.phase.list_schedule_s.p99"
+        assert key in flat
+        flat[key] *= 100
+        candidate = tmp_path / "candidate.json"
+        doc = json.loads(base.read_text())
+        doc["metrics"] = flat
+        candidate.write_text(json.dumps(doc))
+        report_path = tmp_path / "report.json"
+        rc = main(
+            ["check", "--baseline", str(base),
+             "--candidate", str(candidate),
+             "--report", str(report_path)]
+        )
+        text = capsys.readouterr().out
+        assert rc == 1
+        assert "regression" in text and "p99" in text
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+
+    def test_check_bench_kind_needs_candidate(self, capsys):
+        rc = main(
+            ["check", "--baseline", "benchmarks/out/BENCH_kernel.json"]
+        )
+        assert rc == 2
+
+    def test_check_committed_bench_against_itself(self, capsys):
+        rc = main(
+            ["check", "--baseline", "benchmarks/out/BENCH_kernel.json",
+             "--candidate", "benchmarks/out/BENCH_kernel.json"]
+        )
+        assert rc == 0
+
+    def test_chaos_with_monitors_is_clean(self, capsys):
+        rc = main(
+            ["chaos", "--jobs", "4", "--gpus", "6", "--rounds-scale", "0.3",
+             "--seed", "3", "--crash", "8:1", "--checkpoint-interval", "2",
+             "--monitors"]
+        )
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "diagnosis OK" in text
