@@ -5,8 +5,12 @@ Runs a fixed-seed streaming workload (Google-like arrivals on the paper's
 :class:`PlannedPolicy`, and the natively re-planning online Hare — and
 writes ``BENCH_kernel.json`` with events/sec plus residual-build and
 residual-solve latency quantiles pulled from the ``kernel.*`` obs
-histograms. CI's ``bench-smoke`` job runs this and uploads the artifact;
-it is a smoke + trend probe, not a rigorous perf harness.
+histograms. The ``sched_throughput`` arm additionally measures Algorithm
+1's hot path in isolation (order + list-schedule tasks/sec at 600-, 2k-
+and 10k-task scales, vectorized vs ``_reference_`` implementations, plus
+``sched.phase.*`` quantiles). CI's ``bench-smoke`` job runs this and
+uploads the artifact; it is a smoke + trend probe, not a rigorous perf
+harness.
 
 Usage::
 
@@ -21,11 +25,21 @@ import json
 import time
 from pathlib import Path
 
-from repro.cluster import testbed_cluster
+import numpy as np
+
+from repro.cluster import scaled_cluster, testbed_cluster
+from repro.core.job import Job
+from repro.core.types import ModelName
 from repro.harness import make_workload
 from repro.kernel import PlannedPolicy, run_policy
 from repro.obs import Obs, use
 from repro.schedulers import HareScheduler, OnlineHarePolicy
+from repro.schedulers.hare import (
+    _precedence_safe_order,
+    _reference_list_schedule,
+    list_schedule,
+)
+from repro.schedulers.relaxation import FluidRelaxationSolver
 from repro.workload import WorkloadConfig, build_instance
 
 
@@ -113,6 +127,102 @@ def bench_recorder_overhead(instance, policy_factory, *, repeats: int = 7) -> di
     }
 
 
+#: The sched_throughput arms: label -> (jobs, rounds, sync_scale, gpus).
+#: Task count = jobs * rounds * sync_scale.
+SCHED_SCALES: dict[str, tuple[int, int, int, int]] = {
+    "tasks600": (25, 6, 4, 15),
+    "tasks2k": (50, 8, 5, 40),
+    "tasks10k": (125, 16, 5, 48),
+}
+
+
+def _sched_instance(n_jobs: int, rounds: int, scale: int, gpus: int, seed: int):
+    """Deterministic dense instance of exactly n_jobs*rounds*scale tasks."""
+    rng = np.random.default_rng(seed)
+    models = list(ModelName)
+    jobs = [
+        Job(
+            job_id=i,
+            model=models[i % len(models)].value,
+            arrival=float(rng.uniform(0.0, 50.0)),
+            weight=float(rng.uniform(0.5, 2.0)),
+            num_rounds=rounds,
+            sync_scale=scale,
+        )
+        for i in range(n_jobs)
+    ]
+    return build_instance(jobs, scaled_cluster(gpus))
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_sched_throughput(seed: int, *, repeats: int = 5) -> dict:
+    """Algorithm 1 hot-path throughput: order + list-schedule tasks/sec.
+
+    Each scale times the vectorized ``list_schedule`` against the kept
+    ``_reference_list_schedule`` on the identical relaxation ordering
+    (schedules are byte-identical — pinned by the fastpath test suite; a
+    cheap equality assert here double-checks the bench itself), and pulls
+    ``sched.phase.*`` quantiles from one full ``HareScheduler`` run.
+    """
+    arms: dict[str, dict] = {}
+    for label, (n_jobs, rounds, scale, gpus) in SCHED_SCALES.items():
+        instance = _sched_instance(n_jobs, rounds, scale, gpus, seed)
+        tasks = instance.num_tasks
+        relaxation = FluidRelaxationSolver().solve(instance)
+        order_s = _best_of(
+            lambda: _precedence_safe_order(instance, relaxation), repeats
+        )
+        order = _precedence_safe_order(instance, relaxation)
+        list_s = _best_of(
+            lambda: list_schedule(
+                instance, order, placement="earliest_finish"
+            ),
+            repeats,
+        )
+        ref_s = _best_of(
+            lambda: _reference_list_schedule(
+                instance, order, placement="earliest_finish"
+            ),
+            repeats,
+        )
+        vec_plan = list_schedule(instance, order, placement="earliest_finish")
+        ref_plan = _reference_list_schedule(
+            instance, order, placement="earliest_finish"
+        )
+        if vec_plan.assignments != ref_plan.assignments:
+            raise AssertionError(
+                f"vectorized list_schedule diverged from reference on "
+                f"{label}"
+            )
+        with use(Obs.start(trace=False)) as obs:
+            HareScheduler(relaxation="fluid").schedule(instance)
+            phases = {
+                phase: _quantiles(
+                    None, name, obs.metrics.histogram(name)
+                )
+                for phase in ("relaxation_solve", "order", "list_schedule")
+                for name in (f"sched.phase.{phase}_s",)
+            }
+        arms[label] = {
+            "tasks": tasks,
+            "gpus": gpus,
+            "order_tasks_per_sec": tasks / order_s,
+            "list_tasks_per_sec": tasks / list_s,
+            "reference_list_tasks_per_sec": tasks / ref_s,
+            "list_speedup_x": ref_s / list_s,
+            "phases": phases,
+        }
+    return arms
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=24)
@@ -148,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         "recorder_overhead": bench_recorder_overhead(
             instance, lambda: OnlineHarePolicy(relaxation="fluid")
         ),
+        "sched_throughput": bench_sched_throughput(args.seed),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

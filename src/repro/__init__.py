@@ -59,6 +59,7 @@ __all__ = [
     "run_experiment",
     "schedulers",
     "sim",
+    "sweep",
     "switching",
     "sync",
     "theory",

@@ -10,7 +10,11 @@ harness internals:
   observability context;
 * :func:`compare` — several schedulers on the *same* workload, returning a
   :class:`CompareResult` whose trace merges every run (one Perfetto
-  process per scheduler).
+  process per scheduler);
+* :func:`sweep` (from :mod:`repro.sweep`) — a seeds × schedulers × scales
+  grid sharded across worker processes, aggregated into a
+  :class:`~repro.sweep.SweepResult` with one manifest and one baseline
+  snapshot; per-cell metrics match serial :func:`run_experiment` exactly.
 
 Every run owns a private :class:`~repro.obs.Obs` (tracer + metrics
 registry), so concurrent or repeated runs never cross-contaminate. The
@@ -49,6 +53,7 @@ from .obs.baseline import snapshot_baseline, write_baseline
 from .obs.monitors import DiagnosisReport, default_monitors
 from .schedulers import Scheduler, create_from_spec
 from .sim.simulator import SimResult, simulate_plan
+from .sweep import SweepPoint, SweepResult, sweep
 from .workload.jobs import WorkloadConfig
 
 #: How a scheduler may be specified: registry key (``"hare"``), a mapping
@@ -525,7 +530,10 @@ __all__ = [
     "DEFAULT_SCHEMES",
     "RunResult",
     "SchedulerSpec",
+    "SweepPoint",
+    "SweepResult",
     "compare",
     "run_experiment",
     "simulate",
+    "sweep",
 ]

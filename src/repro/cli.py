@@ -4,6 +4,7 @@ Usage (``python -m repro ...``)::
 
     python -m repro compare  --gpus 40 --jobs 60 --load 2.0 --seed 7
     python -m repro schedule --gpus 15 --jobs 20 --scheduler hare --simulate
+    python -m repro sweep    --seeds 8 --workers 4 --schedulers hare,srtf
     python -m repro trace    --gpus 15 --jobs 8 --out trace.json
     python -m repro record   --gpus 15 --jobs 8 --out flight.jsonl
     python -m repro replay   flight.jsonl --category sim --monitors
@@ -523,6 +524,50 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a seeds × schedulers × scales grid across worker processes."""
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    scales = [int(s) for s in args.scales.split(",") if s.strip()]
+    result = api.sweep(
+        seeds=args.seeds,
+        schedulers=schedulers,
+        scales=scales,
+        jobs=args.jobs,
+        load=args.load,
+        rounds_scale=args.rounds_scale,
+        simulate=not args.no_simulate,
+        workers=args.workers,
+        arrivals=args.arrivals,
+    )
+    rows = [
+        [p.scheduler, p.seed, p.gpus, p.weighted_jct, p.makespan]
+        for p in result.points
+    ]
+    print(
+        render_table(
+            ["scheduler", "seed", "gpus", "weighted JCT (s)", "makespan (s)"],
+            rows,
+            title=(
+                f"sweep: {len(result.points)} cells "
+                f"({args.seeds} seeds x {len(schedulers)} scheduler(s) x "
+                f"{len(scales)} scale(s)), {args.workers} worker(s)"
+            ),
+            float_fmt="{:.1f}",
+        )
+    )
+    for name, points in sorted(result.by_scheduler().items()):
+        mean_jct = sum(p.weighted_jct for p in points) / len(points)
+        print(f"  {name}: mean weighted JCT {mean_jct:.1f}s "
+              f"over {len(points)} cells")
+    if args.manifest_out:
+        path = result.write_manifest(args.manifest_out)
+        print(f"manifest written to {path}", file=sys.stderr)
+    if args.baseline_out:
+        path = result.write_baseline(args.baseline_out)
+        print(f"baseline written to {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Export a Perfetto trace + run manifest for one run (or a compare)."""
     cluster = _cluster(args)
@@ -655,6 +700,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--scheduler", default="hare",
                          help="hare | gavel_fifo | srtf | sched_homo | sched_allox")
     p_sched.set_defaults(func=cmd_schedule)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a seeds x schedulers x scales grid across worker "
+             "processes and aggregate one manifest",
+    )
+    p_sweep.add_argument("--seeds", type=int, default=8,
+                         help="number of seeds (grid uses 0..N-1)")
+    p_sweep.add_argument("--schedulers", default="hare",
+                         help="comma-separated registry keys")
+    p_sweep.add_argument("--scales", default="15",
+                         help="comma-separated cluster sizes "
+                              "(15 = the paper's testbed mix)")
+    p_sweep.add_argument("--jobs", type=int, default=20)
+    p_sweep.add_argument("--load", type=float, default=1.5)
+    p_sweep.add_argument("--rounds-scale", type=float, default=0.15)
+    p_sweep.add_argument("--workers", type=int, default=4,
+                         help="worker processes (1 = serial in-process)")
+    p_sweep.add_argument("--no-simulate", action="store_true",
+                         help="skip the DES replay, use analytic metrics")
+    p_sweep.add_argument("--arrivals", choices=("planned", "streaming"),
+                         default="planned")
+    p_sweep.add_argument("--manifest-out", metavar="JSON",
+                         help="write the aggregated sweep manifest here")
+    p_sweep.add_argument("--baseline-out", metavar="JSON",
+                         help="write the sweep.* baseline snapshot here")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_trace = sub.add_parser(
         "trace",

@@ -23,7 +23,8 @@ cache-hit counters land in the ambient :class:`repro.obs.Obs` registry.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -206,6 +207,7 @@ class ResidualPlanner:
             self._solves.popitem(last=False)
         return result
 
+    # ------------------------------------------------------------------
     def plan(self, scheduler, residual: ProblemInstance) -> "Schedule":
         """Full-scheduler re-plan of a residual (the chaos recovery path).
 
@@ -225,3 +227,67 @@ class ResidualPlanner:
             plan = scheduler.schedule(residual)
         obs.metrics.counter("kernel.replans").inc()
         return plan
+
+
+# ----------------------------------------------------------------------
+# Planner sharing (the sweep runner's per-worker memo reuse)
+# ----------------------------------------------------------------------
+#: Planners kept alive inside one :func:`planner_scope`.
+SCOPE_PLANNER_SLOTS = 16
+
+_active_planner_scope: OrderedDict[tuple, ResidualPlanner] | None = None
+
+
+def instance_fingerprint(instance: ProblemInstance) -> tuple:
+    """Content key for a :class:`ProblemInstance` (identity-independent)."""
+    return (
+        tuple(
+            (
+                j.job_id, j.model, j.arrival, j.weight,
+                j.num_rounds, j.sync_scale, j.batch_scale,
+            )
+            for j in instance.jobs
+        ),
+        instance.train_time.tobytes(),
+        instance.sync_time.tobytes(),
+        tuple(instance.gpu_labels),
+    )
+
+
+@contextmanager
+def planner_scope() -> Iterator[None]:
+    """Share :class:`ResidualPlanner`\\s across runs inside this scope.
+
+    While active, :func:`planner_for` hands back one planner per distinct
+    instance *content*, so back-to-back runs over the same workload — a
+    sweep worker grinding through its shard of a (seed, scheduler, scale)
+    grid — reuse the residual-fingerprint cache and relaxation-solve memo
+    instead of re-deriving them. Outside a scope every run gets a fresh
+    planner (cache-hit counters stay per-run deterministic). Scopes nest:
+    an inner scope joins the outer one's table.
+    """
+    global _active_planner_scope
+    prev = _active_planner_scope
+    _active_planner_scope = prev if prev is not None else OrderedDict()
+    try:
+        yield
+    finally:
+        _active_planner_scope = prev
+
+
+def planner_for(instance: ProblemInstance) -> ResidualPlanner:
+    """A :class:`ResidualPlanner` for *instance* — shared when a
+    :func:`planner_scope` is active, otherwise freshly constructed."""
+    scope = _active_planner_scope
+    if scope is None:
+        return ResidualPlanner(instance)
+    key = instance_fingerprint(instance)
+    planner = scope.get(key)
+    if planner is None:
+        planner = ResidualPlanner(instance)
+        scope[key] = planner
+        while len(scope) > SCOPE_PLANNER_SLOTS:
+            scope.popitem(last=False)
+    else:
+        scope.move_to_end(key)
+    return planner

@@ -37,7 +37,9 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Literal
 
-from ..core.errors import SolverError
+import numpy as np
+
+from ..core.errors import InfeasibleProblemError, SolverError
 from ..core.job import ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
@@ -135,7 +137,35 @@ def _precedence_safe_order(
     safeguard against degenerate relaxation outputs, each job's tasks are
     re-written into its own π positions in (round, slot) order — a stable
     fix that preserves every job's position multiset.
+
+    One bucketing pass collects each job's π positions *and* its tasks
+    (``_reference_precedence_safe_order`` rescanned the full order once
+    per job, quadratic in practice); sorting the per-job bucket is stable,
+    so the result is identical to the reference.
     """
+    order = relaxation.ordering()
+    positions: dict[int, list[int]] = {}
+    buckets: dict[int, list[TaskRef]] = {}
+    for pos, task in enumerate(order):
+        positions.setdefault(task.job_id, []).append(pos)
+        buckets.setdefault(task.job_id, []).append(task)
+    fixed: list[TaskRef | None] = [None] * len(order)
+    for job_id, pos_list in positions.items():
+        tasks = sorted(
+            buckets[job_id], key=lambda t: (t.round_idx, t.slot)
+        )
+        for pos, task in zip(pos_list, tasks):
+            fixed[pos] = task
+    if any(t is None for t in fixed):  # pragma: no cover - defensive
+        raise SolverError("ordering fix-up lost tasks")
+    return fixed  # type: ignore[return-value]
+
+
+def _reference_precedence_safe_order(
+    instance: ProblemInstance, relaxation: RelaxationResult
+) -> list[TaskRef]:
+    """Pre-vectorization :func:`_precedence_safe_order`, kept as the
+    equivalence oracle for ``tests/schedulers/test_fastpath.py``."""
     order = relaxation.ordering()
     positions: dict[int, list[int]] = {}
     for pos, task in enumerate(order):
@@ -166,7 +196,19 @@ def strict_gang_schedule(
     tasks strictly in parallel (one per GPU, the fastest free ones). This
     isolates the value of Hare's relaxed scale-fixed scheme: identical
     ordering signal, gang placement instead of task-level packing.
+
+    A job whose ``sync_scale`` exceeds the cluster size cannot run a
+    strict round at all — the relaxed scheme would serialize its tasks,
+    but a gang cannot. Such instances are rejected up front instead of
+    silently truncating the round to ``num_gpus`` tasks.
     """
+    for job in instance.jobs:
+        if job.sync_scale > instance.num_gpus:
+            raise InfeasibleProblemError(
+                f"strict gang scheduling needs sync_scale <= num_gpus: "
+                f"job {job.job_id} has sync_scale {job.sync_scale} on "
+                f"{instance.num_gpus} GPUs"
+            )
     schedule = Schedule(instance)
     phi = [0.0] * instance.num_gpus
     barrier: dict[tuple[int, int], float] = {}
@@ -221,7 +263,97 @@ def list_schedule(
     ``initial_phi`` seeds the per-GPU available times — the online
     re-planning scheduler uses it to account for work already committed to
     each GPU.
+
+    This is the vectorized hot path: φ lives in one numpy array, each
+    placement is a single ``argmin`` over it (``earliest_available``) or
+    over ``max(φ, t_avail) + T^c`` (``earliest_finish``), and per-job
+    ``T^c``/``T^s`` rows are pre-fetched once. Results are bit-identical
+    to :func:`_reference_list_schedule` — ``np.argmin`` breaks ties
+    toward the lowest GPU index, exactly like the reference's fresh-entry
+    heap pop and strict-``<`` scan (pinned by the equivalence suite).
     """
+    schedule = Schedule(instance)
+    num_gpus = instance.num_gpus
+    if initial_phi is None:
+        phi = np.zeros(num_gpus)
+    elif len(initial_phi) != num_gpus:
+        raise SolverError(
+            f"initial_phi has {len(initial_phi)} entries for "
+            f"{num_gpus} GPUs"
+        )
+    else:
+        phi = np.array(initial_phi, dtype=float)
+    jobs = instance.jobs
+    # Per-job duration rows: numpy views for the vector math, plain
+    # Python lists for the scalar reads (a list index is ~5x cheaper than
+    # a numpy scalar lookup; the reference pays the numpy lookup per GPU
+    # per task). phi_list shadows the numpy φ for the same reason.
+    tc_rows = list(instance.train_time)
+    tc_lists = instance.train_time.tolist()
+    ts_lists = instance.sync_time.tolist()
+    phi_list = phi.tolist()
+    finish = np.empty(num_gpus)  # scratch for the earliest-finish rule
+    earliest_finish = placement != "earliest_available"
+    np_maximum, np_add = np.maximum, np.add
+    #: Barrier time of (job, round): max end over its scheduled tasks.
+    round_barrier: dict[tuple[int, int], float] = {}
+    scheduled_in_round: dict[tuple[int, int], int] = {}
+    add = schedule.add
+
+    for task in order:
+        job_id = task.job_id
+        round_idx = task.round_idx
+        if round_idx == 0:
+            t_avail = jobs[job_id].arrival
+        else:
+            key = (job_id, round_idx - 1)
+            if scheduled_in_round.get(key, 0) != jobs[job_id].sync_scale:
+                raise SolverError(
+                    f"π violates precedence: {task} before round "
+                    f"{round_idx - 1} completed"
+                )
+            t_avail = round_barrier[key]
+
+        if earliest_finish:
+            # Ablation: minimize this task's finish time.
+            np_maximum(phi, t_avail, out=finish)
+            np_add(finish, tc_rows[job_id], out=finish)
+            m = finish.argmin()
+        else:
+            # Line 12: the GPU with smallest φ_m.
+            m = phi.argmin()
+        avail = phi_list[m]
+        start = avail if avail > t_avail else t_avail
+
+        tc = tc_lists[job_id][m]
+        ts = ts_lists[job_id][m]
+        add(
+            TaskAssignment(
+                task=task, gpu=int(m), start=start,
+                train_time=tc, sync_time=ts,
+            )
+        )
+        released = start + tc  # sync overlaps the next task (line 16)
+        phi[m] = released
+        phi_list[m] = released
+
+        rkey = (job_id, round_idx)
+        scheduled_in_round[rkey] = scheduled_in_round.get(rkey, 0) + 1
+        end = released + ts
+        prev = round_barrier.get(rkey, 0.0)
+        round_barrier[rkey] = end if end > prev else prev
+    return schedule
+
+
+def _reference_list_schedule(
+    instance: ProblemInstance,
+    order: list[TaskRef],
+    *,
+    placement: Placement = "earliest_available",
+    initial_phi: list[float] | None = None,
+) -> Schedule:
+    """Pre-vectorization :func:`list_schedule` (heap φ, per-GPU Python
+    scan), kept as the equivalence oracle and the bench's reference arm."""
     schedule = Schedule(instance)
     if initial_phi is None:
         initial_phi = [0.0] * instance.num_gpus
@@ -234,7 +366,6 @@ def list_schedule(
     phi = [(float(t), m) for m, t in enumerate(initial_phi)]
     heapq.heapify(phi)
     phi_flat = [float(t) for t in initial_phi]
-    #: Barrier time of (job, round): max end over its scheduled tasks.
     round_barrier: dict[tuple[int, int], float] = {}
     scheduled_in_round: dict[tuple[int, int], int] = {}
 
@@ -252,14 +383,12 @@ def list_schedule(
             t_avail = round_barrier[key]
 
         if placement == "earliest_available":
-            # Line 12: the GPU with smallest φ_m.
             while True:
                 avail, m = heapq.heappop(phi)
                 if avail == phi_flat[m]:
                     break  # fresh entry
             start = max(t_avail, avail)
         else:
-            # Ablation: minimize this task's finish time.
             best = None
             for m in range(instance.num_gpus):
                 cand = max(t_avail, phi_flat[m]) + instance.tc(task.job_id, m)

@@ -42,6 +42,7 @@ from ..kernel.events import Event, KernelEventType
 from ..kernel.residual import (
     ResidualPlanner,
     build_residual_instance as _build_residual_instance,
+    planner_for,
 )
 from ..kernel.runner import run_policy
 from ..kernel.state import Commitment, KernelState
@@ -132,7 +133,9 @@ class OnlineHarePolicy:
     def setup(self, state: KernelState) -> None:
         self.replans = 0
         self._last_replan = None
-        self._planner = ResidualPlanner(state.instance)
+        # Fresh planner normally; shared (memo-reusing) inside an active
+        # kernel.residual.planner_scope — the sweep runner's worker loop.
+        self._planner = planner_for(state.instance)
 
     def on_event(
         self, event: Event, state: KernelState

@@ -40,6 +40,11 @@ from ..core.errors import SolverError
 from ..core.job import ProblemInstance
 from ..core.types import TaskRef
 
+try:  # scipy vendors the HiGHS pybind API; no standalone highspy needed.
+    from scipy.optimize._highspy import _core as _highs_core
+except Exception:  # pragma: no cover - older/newer scipy layouts
+    _highs_core = None
+
 
 @dataclass(frozen=True, slots=True)
 class RelaxationResult:
@@ -109,6 +114,109 @@ def greedy_assignment(instance: ProblemInstance) -> dict[TaskRef, int]:
     return y
 
 
+class _LinprogCutLp:
+    """Fallback cut-loop backend: re-solve the grown CSR with ``linprog``.
+
+    Rows are appended incrementally (``sparse.vstack`` of CSR blocks, never
+    a from-scratch COO rebuild), but each :meth:`solve` is a cold start.
+    """
+
+    warm_started = False
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        lb: np.ndarray,
+        a_ub: sparse.csr_matrix,
+        rhs: list[float],
+    ) -> None:
+        self._c = c
+        self._bounds = [(float(v), None) for v in lb]
+        self._a_ub = a_ub
+        self._rhs = list(rhs)
+
+    def add_rows(self, block: sparse.csr_matrix, rhs_block: list[float]) -> None:
+        self._a_ub = sparse.vstack([self._a_ub, block], format="csr")
+        self._rhs.extend(rhs_block)
+
+    def solve(self) -> tuple[np.ndarray, float]:
+        res = linprog(
+            self._c,
+            A_ub=self._a_ub,
+            b_ub=np.array(self._rhs),
+            bounds=self._bounds,
+            method="highs",
+        )
+        if not res.success:
+            raise SolverError(f"LP failed: {res.message}")
+        return res.x, float(res.fun)
+
+
+class _HighsCutLp:
+    """Warm-started cut-loop backend on scipy's vendored HiGHS.
+
+    The LP lives inside one persistent ``Highs`` model: separated cuts are
+    appended with ``addRows`` and each re-solve starts from the previous
+    round's simplex basis, so a cut round typically costs a handful of
+    dual-simplex pivots instead of a full solve.
+    """
+
+    warm_started = True
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        lb: np.ndarray,
+        a_ub: sparse.csr_matrix,
+        rhs: list[float],
+    ) -> None:
+        core = _highs_core
+        self._core = core
+        n_vars = len(c)
+        h = core._Highs()
+        h.setOptionValue("output_flag", False)
+        lp = core.HighsLp()
+        lp.num_col_ = n_vars
+        lp.num_row_ = a_ub.shape[0]
+        lp.col_cost_ = np.asarray(c, dtype=float)
+        lp.col_lower_ = np.asarray(lb, dtype=float)
+        lp.col_upper_ = np.full(n_vars, core.kHighsInf)
+        lp.row_lower_ = np.full(a_ub.shape[0], -core.kHighsInf)
+        lp.row_upper_ = np.asarray(rhs, dtype=float)
+        lp.a_matrix_.format_ = core.MatrixFormat.kRowwise
+        lp.a_matrix_.start_ = a_ub.indptr
+        lp.a_matrix_.index_ = a_ub.indices
+        lp.a_matrix_.value_ = a_ub.data
+        if h.passModel(lp) != core.HighsStatus.kOk:
+            raise SolverError("HiGHS rejected the cut-loop LP model")
+        self._h = h
+
+    def add_rows(self, block: sparse.csr_matrix, rhs_block: list[float]) -> None:
+        core = self._core
+        k = block.shape[0]
+        status = self._h.addRows(
+            k,
+            np.full(k, -core.kHighsInf),
+            np.asarray(rhs_block, dtype=float),
+            block.nnz,
+            block.indptr,
+            block.indices,
+            block.data,
+        )
+        if status != core.HighsStatus.kOk:
+            raise SolverError("HiGHS rejected appended cut rows")
+
+    def solve(self) -> tuple[np.ndarray, float]:
+        core = self._core
+        if self._h.run() != core.HighsStatus.kOk:
+            raise SolverError("HiGHS run failed in the cut loop")
+        model_status = self._h.getModelStatus()
+        if model_status != core.HighsModelStatus.kOptimal:
+            raise SolverError(f"LP failed: HiGHS status {model_status}")
+        x = np.asarray(self._h.getSolution().col_value, dtype=float)
+        return x, float(self._h.getInfo().objective_function_value)
+
+
 @dataclass(slots=True)
 class ExactRelaxationSolver:
     """LP over start times with Queyranne prefix cuts (fixed greedy ŷ)."""
@@ -117,6 +225,9 @@ class ExactRelaxationSolver:
     cut_tolerance: float = 1e-6
     #: Re-derive ŷ from the solved x̂ and re-solve this many extra times.
     reassignment_rounds: int = 0
+    #: Cut-loop LP backend: "auto" picks the warm-started in-process HiGHS
+    #: when scipy exposes it, else the cold-start ``linprog`` fallback.
+    lp_backend: str = "auto"
 
     def solve(self, instance: ProblemInstance) -> RelaxationResult:
         y = greedy_assignment(instance)
@@ -139,6 +250,30 @@ class ExactRelaxationSolver:
             y[task] = m
             load[m] += tc_row[m]
         return y
+
+    def _make_backend(
+        self,
+        c: np.ndarray,
+        lb: np.ndarray,
+        a_ub: sparse.csr_matrix,
+        rhs: list[float],
+    ) -> _LinprogCutLp | _HighsCutLp:
+        backend = self.lp_backend
+        if backend == "auto":
+            backend = "highs" if _highs_core is not None else "linprog"
+        if backend == "highs":
+            if _highs_core is None:
+                raise SolverError(
+                    "lp_backend='highs' needs scipy's vendored highspy "
+                    "(scipy.optimize._highspy); use 'auto' or 'linprog'"
+                )
+            return _HighsCutLp(c, lb, a_ub, rhs)
+        if backend == "linprog":
+            return _LinprogCutLp(c, lb, a_ub, rhs)
+        raise SolverError(
+            f"unknown lp_backend {self.lp_backend!r}: "
+            "expected 'auto', 'highs', or 'linprog'"
+        )
 
     def _solve_fixed_y(
         self, instance: ProblemInstance, y: dict[TaskRef, int]
@@ -164,17 +299,18 @@ class ExactRelaxationSolver:
         for job in instance.jobs:
             c[b_index[(job.job_id, job.num_rounds - 1)]] = job.weight
 
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
+        # Base constraint matrix built once as CSR triplets; cut rounds only
+        # ever *append* row blocks after this.
+        indptr: list[int] = [0]
+        indices: list[int] = []
+        data: list[float] = []
         rhs: list[float] = []
 
         def add_row(entries: list[tuple[int, float]], bound: float) -> None:
-            r = len(rhs)
             for col, val in entries:
-                rows.append(r)
-                cols.append(col)
-                vals.append(val)
+                indices.append(col)
+                data.append(val)
+            indptr.append(len(indices))
             rhs.append(bound)
 
         # (6)-style: x_i + p_i <= b_{n,r}
@@ -196,13 +332,133 @@ class ExactRelaxationSolver:
         for i, task in enumerate(tasks):
             machine_tasks.setdefault(y[task], []).append(i)
 
-        def add_cut(subset: list[int]) -> None:
+        # Every cut ever emitted, keyed by its (order-independent) task set,
+        # so near-degenerate prefixes are never re-separated across rounds.
+        emitted: set[tuple[int, ...]] = set()
+
+        def cut_row(subset: list[int]) -> tuple[list[tuple[int, float]], float]:
             qs = q[subset]
             bound = 0.5 * (qs.sum() ** 2 + (qs**2).sum())
             # sum q_i (x_i + q_i) >= bound  ->  -sum q_i x_i <= q.q - bound
-            add_row([(i, -float(q[i])) for i in subset], float((qs**2).sum()) - bound)
+            return (
+                [(i, -float(q[i])) for i in subset],
+                float((qs**2).sum()) - bound,
+            )
 
         # Initial cuts: the full set on each machine (constraint (9) itself).
+        for subset in machine_tasks.values():
+            entries, bound = cut_row(subset)
+            add_row(entries, bound)
+            emitted.add(tuple(sorted(subset)))
+
+        lb = np.zeros(n_vars)
+        for i, task in enumerate(tasks):
+            lb[i] = instance.jobs[task.job_id].arrival
+
+        a_base = sparse.csr_matrix(
+            (data, indices, indptr), shape=(len(rhs), n_vars)
+        )
+        lp = self._make_backend(c, lb, a_base, rhs)
+
+        cuts_added = 0
+        x_sol = np.zeros(n_vars)
+        objective = 0.0
+        iteration = 0
+        for iteration in range(1, self.max_cut_rounds + 1):
+            x_sol, objective = lp.solve()
+            new_cuts = self._separate(machine_tasks, q, x_sol, emitted)
+            if not new_cuts:
+                break
+            block_indptr: list[int] = [0]
+            block_indices: list[int] = []
+            block_data: list[float] = []
+            block_rhs: list[float] = []
+            for subset in new_cuts:
+                entries, bound = cut_row(subset)
+                for col, val in entries:
+                    block_indices.append(col)
+                    block_data.append(val)
+                block_indptr.append(len(block_indices))
+                block_rhs.append(bound)
+            block = sparse.csr_matrix(
+                (block_data, block_indices, block_indptr),
+                shape=(len(new_cuts), n_vars),
+            )
+            block.sort_indices()
+            lp.add_rows(block, block_rhs)
+            cuts_added += len(new_cuts)
+
+        x_hat = {t: float(x_sol[t_index[t]]) for t in tasks}
+        return RelaxationResult(
+            x_hat=x_hat,
+            h=_middle_completion(instance, x_hat),
+            objective=objective,
+            y_hat=dict(y),
+            iterations=iteration,
+            cuts_added=cuts_added,
+        )
+
+    def _reference_solve_fixed_y(
+        self, instance: ProblemInstance, y: dict[TaskRef, int]
+    ) -> RelaxationResult:
+        """Pre-vectorization cut loop, kept for the equivalence suite.
+
+        Rebuilds the COO constraint matrix from scratch every round, cold-
+        starts ``linprog`` each time, and never dedupes separated prefixes —
+        the exact behaviour the incremental warm-started path must match
+        (objective within 1e-9; see tests/schedulers/test_fastpath.py).
+        """
+        tasks = list(instance.all_tasks())
+        t_index = {t: i for i, t in enumerate(tasks)}
+        n_x = len(tasks)
+
+        b_index: dict[tuple[int, int], int] = {}
+        for job in instance.jobs:
+            for r in range(job.num_rounds):
+                b_index[(job.job_id, r)] = n_x + len(b_index)
+        n_vars = n_x + len(b_index)
+
+        p = np.array([instance.task_time(t.job_id, y[t]) for t in tasks])
+        q = np.array([instance.tc(t.job_id, y[t]) for t in tasks])
+
+        c = np.zeros(n_vars)
+        for job in instance.jobs:
+            c[b_index[(job.job_id, job.num_rounds - 1)]] = job.weight
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        rhs: list[float] = []
+
+        def add_row(entries: list[tuple[int, float]], bound: float) -> None:
+            r = len(rhs)
+            for col, val in entries:
+                rows.append(r)
+                cols.append(col)
+                vals.append(val)
+            rhs.append(bound)
+
+        for i, task in enumerate(tasks):
+            add_row(
+                [(i, 1.0), (b_index[(task.job_id, task.round_idx)], -1.0)],
+                -p[i],
+            )
+        for i, task in enumerate(tasks):
+            if task.round_idx > 0:
+                add_row(
+                    [(b_index[(task.job_id, task.round_idx - 1)], 1.0), (i, -1.0)],
+                    0.0,
+                )
+
+        machine_tasks: dict[int, list[int]] = {}
+        for i, task in enumerate(tasks):
+            machine_tasks.setdefault(y[task], []).append(i)
+
+        def add_cut(subset: list[int]) -> None:
+            qs = q[subset]
+            bound = 0.5 * (qs.sum() ** 2 + (qs**2).sum())
+            add_row([(i, -float(q[i])) for i in subset], float((qs**2).sum()) - bound)
+
         for subset in machine_tasks.values():
             add_cut(subset)
 
@@ -248,8 +504,15 @@ class ExactRelaxationSolver:
         machine_tasks: dict[int, list[int]],
         q: np.ndarray,
         x_sol: np.ndarray,
+        emitted: set[tuple[int, ...]] | None = None,
     ) -> list[list[int]]:
-        """Most-violated prefix constraint per machine (if any)."""
+        """Most-violated prefix constraint per machine (if any).
+
+        With *emitted*, prefixes whose task set was already cut are skipped:
+        the relative tolerance can otherwise re-separate the same near-
+        degenerate prefix on consecutive rounds, growing the LP with
+        duplicate rows until ``max_cut_rounds`` exhausts.
+        """
         new_cuts: list[list[int]] = []
         for subset in machine_tasks.values():
             order = sorted(subset, key=lambda i: (x_sol[i], i))
@@ -262,7 +525,13 @@ class ExactRelaxationSolver:
             violation = bound - lhs  # >0 means prefix violated
             k = int(np.argmax(violation))
             if violation[k] > self.cut_tolerance * max(1.0, abs(bound[k])):
-                new_cuts.append(order[: k + 1])
+                prefix = order[: k + 1]
+                if emitted is not None:
+                    key = tuple(sorted(prefix))
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                new_cuts.append(prefix)
         return new_cuts
 
 
@@ -368,14 +637,16 @@ class FluidRelaxationSolver:
                     active[n] = False
             t = t_next
 
-        # Invert the work curves to get round start times.
+        # Invert the work curves to get round start times (batched per job:
+        # one searchsorted over all round targets instead of a Python scan
+        # per round).
         x_hat: dict[TaskRef, float] = {}
         for n, job in enumerate(jobs):
             round_work = job.sync_scale * rep[n]
-            curve = breakpoints[n]
+            targets = np.arange(job.num_rounds) * round_work
+            starts = _invert_curve_batch(breakpoints[n], targets)
             for r in range(job.num_rounds):
-                target = r * round_work
-                start = _invert_curve(curve, target)
+                start = float(starts[r])
                 for d in range(job.sync_scale):
                     x_hat[TaskRef(n, r, d)] = start
 
@@ -444,13 +715,53 @@ def _water_fill(
 
 
 def _invert_curve(curve: list[tuple[float, float]], target: float) -> float:
-    """Earliest time the piecewise-linear work curve reaches *target*."""
+    """Earliest time the piecewise-linear work curve reaches *target*.
+
+    *target* is clamped to the curve's final work value: accumulated float
+    drift can make the last round's target overshoot the total work by
+    ~1e-12, and falling off the end would date that round at the job's
+    completion instant instead of interpolating inside the last segment.
+    """
+    w_end = curve[-1][1]
+    if target > w_end:
+        target = w_end
     if target <= 0:
         return curve[0][0]
     for (t0, w0), (t1, w1) in zip(curve, curve[1:]):
+        if w1 < w0:
+            raise SolverError("work curve is not monotone")
         if w1 >= target - 1e-12:
             if w1 == w0:
                 return t1
             frac = (target - w0) / (w1 - w0)
             return t0 + frac * (t1 - t0)
-    return curve[-1][0]
+    return curve[-1][0]  # pragma: no cover - unreachable after clamping
+
+
+def _invert_curve_batch(
+    curve: list[tuple[float, float]], targets: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`_invert_curve` over many targets at once.
+
+    Matches the scalar routine bit-for-bit: the segment index from
+    ``searchsorted`` reproduces the scalar scan's first ``w1 >= target -
+    1e-12`` hit, and the interpolation uses the identical expression.
+    """
+    times = np.array([t for t, _ in curve])
+    works = np.array([w for _, w in curve])
+    if np.any(np.diff(works) < 0):
+        raise SolverError("work curve is not monotone")
+    clamped = np.minimum(targets, works[-1])
+    if len(curve) == 1:
+        return np.full(len(targets), times[0])
+    # First segment end j >= 1 with works[j] >= target - 1e-12.
+    j = np.maximum(np.searchsorted(works, clamped - 1e-12, side="left"), 1)
+    w0 = works[j - 1]
+    w1 = works[j]
+    t0 = times[j - 1]
+    t1 = times[j]
+    flat = w1 == w0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = (clamped - w0) / np.where(flat, 1.0, w1 - w0)
+    starts = np.where(flat, t1, t0 + frac * (t1 - t0))
+    return np.where(clamped <= 0, times[0], starts)

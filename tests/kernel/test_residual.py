@@ -7,6 +7,11 @@ import pytest
 
 from repro.core import Job, ProblemInstance
 from repro.kernel import ResidualPlanner, build_residual_instance
+from repro.kernel.residual import (
+    instance_fingerprint,
+    planner_for,
+    planner_scope,
+)
 from repro.obs import Obs, use
 from repro.schedulers import HareScheduler
 from repro.schedulers.relaxation import FluidRelaxationSolver
@@ -130,3 +135,47 @@ class TestResidualPlannerCaches:
         assert len(plan) == residual.num_tasks
         assert snap["kernel.replans"]["value"] == 1
         assert snap["kernel.residual_solve_s"]["count"] == 1
+
+
+class TestPlannerScope:
+    """Opt-in planner sharing for the sweep runner's worker loop."""
+
+    def _clone(self, inst: ProblemInstance) -> ProblemInstance:
+        return ProblemInstance(
+            jobs=list(inst.jobs),
+            train_time=inst.train_time.copy(),
+            sync_time=inst.sync_time.copy(),
+        )
+
+    def test_fresh_planner_outside_scope(self, inst):
+        # No scope: per-run cache counters must stay deterministic, so
+        # every call constructs a new planner.
+        assert planner_for(inst) is not planner_for(inst)
+
+    def test_shared_within_scope(self, inst):
+        with planner_scope():
+            assert planner_for(inst) is planner_for(inst)
+
+    def test_keyed_by_content_not_identity(self, inst):
+        with planner_scope():
+            assert planner_for(inst) is planner_for(self._clone(inst))
+
+    def test_different_content_gets_different_planner(self, inst):
+        other = self._clone(inst)
+        other.train_time[0, 0] *= 2.0
+        with planner_scope():
+            assert planner_for(inst) is not planner_for(other)
+
+    def test_nested_scope_joins_outer_table(self, inst):
+        with planner_scope():
+            outer = planner_for(inst)
+            with planner_scope():
+                assert planner_for(inst) is outer
+            # Leaving the inner scope keeps the outer one alive.
+            assert planner_for(inst) is outer
+        assert planner_for(inst) is not outer
+
+    def test_fingerprint_identity_independent(self, inst):
+        assert instance_fingerprint(inst) == instance_fingerprint(
+            self._clone(inst)
+        )

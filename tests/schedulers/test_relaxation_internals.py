@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core import SolverError
 from repro.schedulers.relaxation import (
     _density_fill,
     _invert_curve,
+    _invert_curve_batch,
     _water_fill,
 )
 
@@ -100,6 +102,55 @@ class TestInvertCurve:
 
     def test_target_beyond_curve_clamps_to_end(self):
         assert _invert_curve(self.CURVE, 100.0) == 6.0
+
+    def test_float_drift_past_final_work_clamps(self):
+        """num_rounds * round_work can land 1 ulp above the curve's total
+        work; the inversion must clamp instead of running off the end."""
+        assert _invert_curve(self.CURVE, 6.0 + 1e-12) == 6.0
+
+    def test_non_monotone_curve_rejected(self):
+        # The decreasing segment sits before the target, so the scalar
+        # scan must trip over it rather than interpolate earlier.
+        bad = [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)]
+        with pytest.raises(SolverError, match="not monotone"):
+            _invert_curve(bad, 2.5)
+
+
+class TestInvertCurveBatch:
+    CURVE = TestInvertCurve.CURVE
+
+    def test_matches_scalar_on_pinned_curve(self):
+        targets = np.array([0.0, -1.0, 2.0, 4.0, 5.0, 6.0, 6.0 + 1e-12, 100.0])
+        batch = _invert_curve_batch(self.CURVE, targets)
+        scalar = np.array([_invert_curve(self.CURVE, float(t)) for t in targets])
+        assert np.array_equal(batch, scalar)
+
+    def test_matches_scalar_on_random_curves(self):
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            n = int(rng.integers(1, 8))
+            times = np.concatenate([[0.0], np.cumsum(rng.uniform(0.1, 2.0, n))])
+            # Random non-decreasing work, with occasional flat segments.
+            steps = rng.uniform(0.0, 3.0, n)
+            steps[rng.random(n) < 0.3] = 0.0
+            works = np.concatenate([[0.0], np.cumsum(steps)])
+            curve = list(zip(times.tolist(), works.tolist()))
+            targets = rng.uniform(-1.0, works[-1] + 1.0, 16)
+            batch = _invert_curve_batch(curve, targets)
+            scalar = np.array(
+                [_invert_curve(curve, float(t)) for t in targets]
+            )
+            assert np.array_equal(batch, scalar)
+
+    def test_single_point_curve(self):
+        batch = _invert_curve_batch([(3.0, 0.0)], np.array([0.0, 1.0]))
+        assert np.array_equal(batch, [3.0, 3.0])
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(SolverError, match="not monotone"):
+            _invert_curve_batch(
+                [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)], np.array([0.5])
+            )
 
 
 class TestCutSeparation:

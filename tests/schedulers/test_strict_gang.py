@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    InfeasibleProblemError,
     Job,
     ProblemInstance,
     metrics_from_schedule,
@@ -67,6 +68,20 @@ class TestStrictGang:
             metrics_from_schedule(relaxed).total_weighted_completion
             <= 1.3 * metrics_from_schedule(strict).total_weighted_completion
         )
+
+    def test_oversized_gang_rejected_up_front(self):
+        """sync_scale > num_gpus: a gang can never assemble — the old code
+        silently truncated the round; now it must refuse the instance."""
+        jobs = [Job(job_id=0, model="m", num_rounds=2, sync_scale=3)]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.ones((1, 2)),
+            sync_time=np.zeros((1, 2)),
+        )
+        with pytest.raises(
+            InfeasibleProblemError, match="sync_scale <= num_gpus"
+        ):
+            strict_gang_schedule(inst, list(inst.all_tasks()))
 
     def test_hold_gpus_variant(self):
         jobs = [
