@@ -127,6 +127,50 @@ def bench_recorder_overhead(instance, policy_factory, *, repeats: int = 7) -> di
     }
 
 
+def bench_heal(instance, *, replan_interval: float = 0.25) -> dict:
+    """The self-healing arm: a deterministic replan storm, healed.
+
+    Runs online Hare under an aggressive periodic re-plan timer twice —
+    remediation off, then on — and records both arms' deterministic
+    results plus the applied action counts. The acceptance property
+    (strictly fewer re-plans, no worse weighted JCT) is pinned by
+    ``tests/heal/test_healing_e2e.py``; this arm keeps the same
+    comparison in the drift-gated bench report.
+    """
+    from repro.heal import RemediationEngine
+
+    def arm(engine) -> dict:
+        with use(Obs.start(
+            trace=False,
+            record=engine is not None,
+            monitors=[engine] if engine is not None else None,
+        )):
+            result = run_policy(
+                instance,
+                OnlineHarePolicy(relaxation="fluid"),
+                replan_interval=replan_interval,
+                heal=engine,
+            )
+        return {
+            "events": result.events,
+            "replans": result.replans,
+            "weighted_completion": result.metrics.total_weighted_completion,
+            "makespan": result.metrics.makespan,
+        }
+
+    base = arm(None)
+    engine = RemediationEngine(instance)
+    healed = arm(engine)
+    return {
+        "replan_interval_s": replan_interval,
+        "base": base,
+        "healed": healed,
+        "replans_saved": base["replans"] - healed["replans"],
+        "actions": dict(sorted(engine.log.counts().items())),
+        "unremediated": len(engine.log.unremediated),
+    }
+
+
 #: The sched_throughput arms: label -> (jobs, rounds, sync_scale, gpus).
 #: Task count = jobs * rounds * sync_scale.
 SCHED_SCALES: dict[str, tuple[int, int, int, int]] = {
@@ -258,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         "recorder_overhead": bench_recorder_overhead(
             instance, lambda: OnlineHarePolicy(relaxation="fluid")
         ),
+        "heal": bench_heal(instance),
         "sched_throughput": bench_sched_throughput(args.seed),
     }
 

@@ -45,7 +45,7 @@ def test_ablation_switching(benchmark, report):
     rows = [
         [
             label,
-            r.telemetry.total_switch_time(),
+            r.telemetry.total_switch_time,
             r.telemetry.retention_hits,
             r.total_weighted_completion,
         ]
@@ -60,7 +60,7 @@ def test_ablation_switching(benchmark, report):
         )
     )
 
-    sw = {k: r.telemetry.total_switch_time() for k, r in results.items()}
+    sw = {k: r.telemetry.total_switch_time for k, r in results.items()}
     # each mechanism strictly reduces switch time
     assert sw["default"] > 10 * sw["pipeswitch"]
     assert sw["pipeswitch"] > sw["hare w/o spec. memory"]

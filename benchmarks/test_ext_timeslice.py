@@ -41,7 +41,7 @@ def test_ext_timeslice(benchmark, report):
                 out[(label, mode)] = (
                     res.metrics.total_weighted_flow,
                     res.telemetry.switch_count,
-                    res.telemetry.total_switch_time(),
+                    res.telemetry.total_switch_time,
                 )
         return out
 

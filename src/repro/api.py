@@ -40,6 +40,7 @@ from .core.metrics import ScheduleMetrics, metrics_from_schedule
 from .core.schedule import Schedule, validate_schedule
 from .core.types import SwitchMode
 from .harness.experiments import make_loaded_workload, make_problem
+from .heal import RemediationEngine, RemediationLog
 from .kernel import KernelResult, run_policy
 from .obs import (
     Obs,
@@ -90,6 +91,8 @@ class RunResult:
     kernel: KernelResult | None = None
     #: Monitor findings when the run was watched (``monitors=True``).
     diagnosis: DiagnosisReport | None = None
+    #: Remediation log when the run self-healed (``heal=True``).
+    remediation: RemediationLog | None = None
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -161,6 +164,16 @@ class RunResult:
                     if self.diagnosis.max_severity is not None
                     else None
                 ),
+            }
+        if self.remediation is not None:
+            results["remediation"] = {
+                "ok": self.remediation.ok,
+                "actions": len(self.remediation.records),
+                "applied": sum(
+                    1 for r in self.remediation.records if r.applied
+                ),
+                "by_kind": self.remediation.counts(),
+                "unremediated": len(self.remediation.unremediated),
             }
         return build_manifest(
             command=f"api.run_experiment({self.scheduler})",
@@ -315,22 +328,41 @@ def _run_one(
     arrivals: ArrivalsMode = "planned",
     record: bool = False,
     monitors: bool = False,
+    heal: bool = False,
+    replan_interval: float | None = None,
+    crashes: list[tuple[float, int]] | None = None,
 ) -> RunResult:
     if arrivals not in _ARRIVALS_MODES:
         raise ValueError(
             f"arrivals must be one of {_ARRIVALS_MODES}, got {arrivals!r}"
         )
+    if arrivals != "streaming" and (
+        heal or replan_interval is not None or crashes
+    ):
+        raise ValueError(
+            "heal / replan_interval / crashes require arrivals='streaming' "
+            "(they act on the kernel event loop)"
+        )
     sched = create_from_spec(scheduler)
+    engine = RemediationEngine(instance) if heal else None
     obs = Obs.start(
         trace=trace,
-        record=record or monitors,
-        monitors=default_monitors(instance) if monitors else None,
+        record=record or monitors or heal,
+        monitors=(
+            [engine] if engine is not None
+            else default_monitors(instance) if monitors
+            else None
+        ),
     )
     kernel_result: KernelResult | None = None
     with use(obs):
         if arrivals == "streaming":
             kernel_result = run_policy(
-                instance, sched.make_policy(instance)
+                instance,
+                sched.make_policy(instance),
+                crashes=crashes,
+                replan_interval=replan_interval,
+                heal=engine,
             )
             plan = kernel_result.schedule
         else:
@@ -353,10 +385,12 @@ def _run_one(
         config=config,
         kernel=kernel_result,
     )
-    if obs.recorder is not None and monitors:
+    if obs.recorder is not None and (monitors or heal):
         result.diagnosis = obs.recorder.diagnose(
             instance=instance, metrics=result.metrics_snapshot()
         )
+    if engine is not None:
+        result.remediation = engine.log
     return result
 
 
@@ -377,6 +411,9 @@ def run_experiment(
     arrivals: ArrivalsMode = "planned",
     record: bool = False,
     monitors: bool = False,
+    heal: bool = False,
+    replan_interval: float | None = None,
+    crashes: list[tuple[float, int]] | None = None,
 ) -> RunResult:
     """Run one scheduler end-to-end on a generated (or given) workload.
 
@@ -398,6 +435,15 @@ def run_experiment(
     :meth:`RunResult.write_flight_log`); ``monitors=True`` additionally
     attaches the streaming invariant monitors and anomaly detectors and
     fills :attr:`RunResult.diagnosis` with their findings.
+
+    ``heal=True`` (streaming only) closes the loop: a
+    :class:`repro.heal.RemediationEngine` watches the monitors' findings
+    *during* the run and applies the mapped remediation actions —
+    throttling re-plan storms, boosting starved jobs, forcing re-plans,
+    quarantining SUSPECT GPUs. The applied actions land on
+    :attr:`RunResult.remediation`. ``replan_interval`` arms the kernel's
+    periodic ``REPLAN_TIMER`` and ``crashes`` injects permanent GPU
+    failures as ``(time, gpu)`` events — both streaming-only too.
     """
     cluster, workload, instance = _setup(
         gpus=gpus, jobs=jobs, seed=seed, load=load,
@@ -415,11 +461,16 @@ def run_experiment(
         "switch_mode": switch_mode.value,
         "arrivals": arrivals,
     }
+    if heal:
+        config["heal"] = True
+    if replan_interval is not None:
+        config["replan_interval"] = replan_interval
     return _run_one(
         scheduler, cluster, instance,
         simulate=simulate, switch_mode=switch_mode, trace=trace,
         validate=validate, config=config, arrivals=arrivals,
         record=record, monitors=monitors,
+        heal=heal, replan_interval=replan_interval, crashes=crashes,
     )
 
 

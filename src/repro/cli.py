@@ -8,6 +8,8 @@ Usage (``python -m repro ...``)::
     python -m repro trace    --gpus 15 --jobs 8 --out trace.json
     python -m repro record   --gpus 15 --jobs 8 --out flight.jsonl
     python -m repro replay   flight.jsonl --category sim --monitors
+    python -m repro heal     --jobs 16 --seed 7 --replan-interval 0.25 \
+                             --out remediation.json
     python -m repro check    --baseline benchmarks/out/BENCH_kernel.json \
                              --candidate artifacts/BENCH_kernel.json
     python -m repro table3
@@ -29,6 +31,13 @@ metrics baseline (or a ``BENCH_kernel.json`` bench report) against a
 candidate under per-metric tolerance bands and exits non-zero on
 regression — the CI drift gate. ``chaos --monitors`` attaches the
 monitors to a fault-injection run and fails on invariant violations.
+
+``heal`` closes the loop: it runs a streaming experiment twice — healing
+off, then on — and reports what the :mod:`repro.heal` remediation engine
+changed (re-plans throttled, weights boosted, GPUs quarantined), writing
+the ``repro.remediation/1`` log with ``--out`` and exiting non-zero when
+ERROR findings were left unremediated. ``chaos --heal`` attaches the same
+engine to a fault-injection run.
 """
 
 from __future__ import annotations
@@ -248,8 +257,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
     monitors_on = bool(getattr(args, "monitors", False))
+    heal_on = bool(getattr(args, "heal", False))
+    engine = None
     obs = None
-    if monitors_on:
+    if heal_on:
+        from .heal import RemediationEngine
+
+        # The engine wraps the default monitors itself; its findings
+        # reach the diagnosis through the recorder.
+        engine = RemediationEngine()
+        obs = Obs.start(
+            trace=_wants_artifacts(args), record=True, monitors=[engine]
+        )
+    elif monitors_on:
         from .obs import default_monitors
 
         obs = Obs.start(
@@ -265,9 +285,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             heartbeat=HeartbeatConfig(
                 interval_s=args.heartbeat_interval, lease_s=args.lease
             ),
+            heal=engine,
         )
     diagnosis = None
-    if monitors_on:
+    if monitors_on or heal_on:
         diagnosis = obs.recorder.diagnose(metrics=obs.metrics.snapshot())
     report = result.report
     rows = [
@@ -304,6 +325,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             float_fmt="{:.3f}",
         )
     )
+    if heal_on and result.remediation is not None:
+        print(result.remediation.summary())
     if obs is not None:
         from .obs import build_manifest, write_manifest, write_trace
 
@@ -349,6 +372,78 @@ def _print_report(report, *, limit: int = 20) -> None:
               f"{finding.message}")
     if len(report.findings) > limit:
         print(f"  ... and {len(report.findings) - limit} more")
+
+
+def cmd_heal(args: argparse.Namespace) -> int:
+    """Run a streaming experiment twice — healing off, then on — and
+    show what the remediation engine changed."""
+    cluster = _cluster(args)
+    jobs = _workload(args)
+    try:
+        scheduler = create_scheduler(args.scheduler)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    crashes = None
+    if args.crash:
+        crashes = []
+        for spec in args.crash:
+            time, gpu = spec.split(":")
+            crashes.append((float(time), int(gpu)))
+    common = dict(
+        cluster=cluster,
+        workload=jobs,
+        scheduler=scheduler,
+        seed=args.seed,
+        load=args.load,
+        rounds_scale=args.rounds_scale,
+        simulate=False,
+        trace=False,
+        arrivals="streaming",
+        replan_interval=args.replan_interval,
+        crashes=crashes,
+    )
+    base = api.run_experiment(**common)
+    healed = api.run_experiment(**common, heal=True)
+    log = healed.remediation
+    assert log is not None and base.kernel is not None
+    assert healed.kernel is not None
+    rows = [
+        ["re-plans", f"{base.kernel.replans} -> {healed.kernel.replans}"],
+        ["weighted JCT (s)",
+         f"{base.metrics.total_weighted_completion:.3f} -> "
+         f"{healed.metrics.total_weighted_completion:.3f}"],
+        ["makespan (s)",
+         f"{base.makespan:.3f} -> {healed.makespan:.3f}"],
+        ["remediation actions", len(log.records)],
+        ["applied", sum(1 for r in log.records if r.applied)],
+        ["unremediated findings", len(log.unremediated)],
+    ]
+    for kind, n in sorted(log.counts().items()):
+        rows.append([f"  {kind}", n])
+    print(
+        render_table(
+            ["metric", "no heal -> heal"],
+            rows,
+            title=(
+                f"heal: {scheduler.name}, {len(jobs)} jobs on "
+                f"{cluster.num_gpus} GPUs, replan interval "
+                f"{args.replan_interval}s"
+            ),
+        )
+    )
+    print(log.summary())
+    if args.out:
+        path = log.write(args.out)
+        print(f"remediation log written to {path}", file=sys.stderr)
+    if log.unremediated_errors():
+        for finding in log.unremediated_errors():
+            print(
+                f"  [ERROR unremediated] {finding.monitor}: "
+                f"{finding.message}"
+            )
+        return 1
+    return 0
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -769,7 +864,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--monitors", action="store_true",
                          help="attach the streaming invariant monitors and "
                               "fail on invariant violations")
+    p_chaos.add_argument("--heal", action="store_true",
+                         help="attach the remediation engine: monitor "
+                              "findings trigger corrective actions "
+                              "(quarantine, weight boosts) during recovery")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_heal = sub.add_parser(
+        "heal",
+        help="run streaming twice (healing off/on) and report what the "
+             "remediation engine changed",
+    )
+    add_workload_args(p_heal)
+    p_heal.add_argument("--scheduler", default="hare_online",
+                        help="registry key of a streaming-capable scheme "
+                             "(default: hare_online)")
+    p_heal.add_argument("--replan-interval", type=float, default=0.5,
+                        help="periodic REPLAN_TIMER period (s); small "
+                             "values provoke a replan storm for the "
+                             "engine to throttle")
+    p_heal.add_argument("--crash", action="append", default=[],
+                        metavar="TIME:GPU",
+                        help="permanent GPU crash fed to the kernel "
+                             "(repeatable)")
+    p_heal.add_argument("--out", metavar="JSON",
+                        help="write the repro.remediation/1 log here")
+    p_heal.set_defaults(func=cmd_heal)
 
     p_record = sub.add_parser(
         "record",

@@ -102,6 +102,9 @@ class ChaosResult:
     control_messages: int
     control_bytes: float
     payload_bytes: float
+    #: The remediation log when the run was healed
+    #: (:meth:`ControlPlane.run_chaos` with ``heal=``), else ``None``.
+    remediation: object | None = None
 
 
 @dataclass(slots=True)
@@ -386,6 +389,7 @@ class ControlPlane:
         *,
         heartbeat: HeartbeatConfig | None = None,
         retry: RetryPolicy | None = None,
+        heal=None,
     ) -> ChaosResult:
         """Execute the pipeline under injected faults, recovering as needed.
 
@@ -404,6 +408,15 @@ class ControlPlane:
         control traffic (heartbeats, restores, sequences) must stay in
         causal order on the monotonic wire, and the data-plane accounting
         is :meth:`run`'s concern.
+
+        *heal* is an optional :class:`repro.heal.RemediationEngine`
+        (duck-typed — this module never imports ``repro.heal``). When
+        given, it is attached to the ambient flight recorder so it sees
+        every record as it lands, its quarantine set is honoured at each
+        residual re-plan (advisory: ignored when excluding SUSPECT GPUs
+        would leave fewer survivors than the widest unfinished job
+        needs), and its :class:`~repro.heal.actions.RemediationLog` is
+        returned on :attr:`ChaosResult.remediation`.
         """
         obs = obs_current()
         heartbeat = heartbeat or HeartbeatConfig()
@@ -414,6 +427,12 @@ class ControlPlane:
         scenario.validate(self.cluster.num_gpus)
         jobs_by_id = {job.job_id: job for job in jobs}
         instance = build_instance(jobs, self.cluster, profiler=self.profiler)
+        if heal is not None:
+            if getattr(heal, "instance", None) is None:
+                heal.instance = instance
+            recorder = getattr(obs, "recorder", None)
+            if recorder is not None and heal not in recorder.monitors:
+                recorder.attach(heal)
         with obs.tracer.timed(
             Category.CTRL,
             "plan",
@@ -459,6 +478,43 @@ class ControlPlane:
         cur_instance, cur_plan = instance, plan
         id_map = [(job.job_id, 0) for job in jobs]  # local → (global, offset)
         dead: set[int] = set()
+
+        def bind_resolver() -> None:
+            """Point the engine's job resolver at the *current* id_map so
+            starvation findings (local residual job ids) boost the right
+            global job."""
+            if heal is None:
+                return
+            heal.job_resolver = (
+                lambda j, _m=id_map: _m[j][0] if 0 <= j < len(_m) else None
+            )
+
+        def survivors_excluding_quarantine() -> set[int]:
+            """Dead GPUs plus the engine's quarantined ones — unless that
+            would leave fewer survivors than the widest unfinished job
+            needs (quarantine is advisory; feasibility wins)."""
+            excluded = set(dead)
+            quarantined = (
+                set(getattr(heal, "quarantined", ()) or ())
+                if heal is not None
+                else set()
+            )
+            quarantined -= excluded
+            if not quarantined:
+                return excluded
+            min_scale = max(
+                (
+                    jobs_by_id[g].sync_scale
+                    for g in rounds_done
+                    if rounds_done[g] < jobs_by_id[g].num_rounds
+                ),
+                default=1,
+            )
+            if instance.num_gpus - len(excluded | quarantined) >= min_scale:
+                excluded |= quarantined
+            return excluded
+
+        bind_resolver()
         phase_start = 0.0
         all_windows = scenario.slowdown_windows()
         all_restarts = scenario.restart_failures()
@@ -607,12 +663,20 @@ class ControlPlane:
                     checkpoint_bytes += final_meta.size_bytes
             commit_records(phase)
 
-            # 4. Re-plan the residual workload on the survivors.
+            # 4. Re-plan the residual workload on the survivors (minus
+            # any feasibly-quarantinable SUSPECT GPUs the engine flagged).
             dead.add(crash.gpu_id)
-            cur_cluster, gpu_map = survivor_cluster(self.cluster, dead)
-            residual, id_map = planner.residual(
-                jobs, rounds_done, ready_at, gpu_subset=gpu_map
+            cur_cluster, gpu_map = survivor_cluster(
+                self.cluster, survivors_excluding_quarantine()
             )
+            residual, id_map = planner.residual(
+                jobs, rounds_done, ready_at, gpu_subset=gpu_map,
+                weight_boost=(
+                    dict(heal.boosts) if heal is not None and heal.boosts
+                    else None
+                ),
+            )
+            bind_resolver()
             phase_start = t_dead
             if residual is None:
                 cur_plan = None
@@ -704,6 +768,8 @@ class ControlPlane:
             degraded_makespan=makespan,
         )
         self.transport.faults = None  # disarm the wire
+        if heal is not None:
+            heal.poll_now()
         return ChaosResult(
             instance=instance,
             plan=plan,
@@ -718,4 +784,5 @@ class ControlPlane:
             control_messages=stats.messages,
             control_bytes=stats.control_bytes,
             payload_bytes=stats.payload_bytes,
+            remediation=heal.log if heal is not None else None,
         )

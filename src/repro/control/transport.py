@@ -12,6 +12,11 @@ The wire can be made unreliable: attach a fault model (any object with a
 :class:`~repro.faults.scenario.UnreliableNetwork`) and sends may vanish.
 :meth:`SimTransport.send_with_retry` layers a timeout/backoff retry loop on
 top, with full accounting of retries, timeouts and duplicate deliveries.
+A fully exhausted retry budget is additionally surfaced to the ambient
+observability as a severity-graded ``rpc_budget_exhausted`` fault instant
+(see :func:`repro.faults.retry.budget_exhaustion_severity`), so monitors
+and the remediation engine can see the condition instead of only whoever
+catches the eventual exception.
 """
 
 from __future__ import annotations
@@ -22,7 +27,11 @@ import math
 from dataclasses import dataclass, field
 
 from ..core.errors import ConfigurationError, SimulationError
+from ..obs import Category, current as obs_current
 from .messages import Message
+
+#: Trace track carrying transport-level fault instants.
+TRANSPORT_TRACK = "transport"
 
 #: Delivery time :meth:`SimTransport.send` returns for a dropped message.
 DROPPED = math.inf
@@ -84,6 +93,9 @@ class SimTransport:
     _inboxes: dict[str, list] = field(default_factory=dict)
     _counter: itertools.count = field(default_factory=itertools.count)
     _stats: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
+    #: Consecutive retry-budget exhaustions per destination (reset by any
+    #: acknowledged send); grades the ``rpc_budget_exhausted`` instants.
+    _exhausted: dict[str, int] = field(default_factory=dict)
     now: float = 0.0
 
     def register(self, name: str) -> None:
@@ -160,6 +172,7 @@ class SimTransport:
                 dst, src, delivered_at if arrived else t
             )
             if arrived and not ack_lost:
+                self._exhausted.pop(dst, None)
                 return RpcOutcome(
                     delivered_at=first_delivery,
                     attempts=attempt + 1,
@@ -170,11 +183,33 @@ class SimTransport:
             if attempt + 1 < policy.max_attempts:
                 stats.retries += 1
                 t += policy.backoff(attempt, key=dst)
+        self._report_exhaustion(dst, policy.max_attempts, at=t)
         return RpcOutcome(
             delivered_at=first_delivery,
             attempts=policy.max_attempts,
             acked=False,
         )
+
+    def _report_exhaustion(self, dst: str, attempts: int, *, at: float) -> None:
+        """Surface an exhausted retry budget as a graded fault instant."""
+        from ..faults.retry import budget_exhaustion_severity
+
+        consecutive = self._exhausted.get(dst, 0) + 1
+        self._exhausted[dst] = consecutive
+        severity = budget_exhaustion_severity(consecutive)
+        obs = obs_current()
+        if obs.enabled:
+            obs.tracer.instant(
+                Category.FAULT,
+                "rpc_budget_exhausted",
+                track=TRANSPORT_TRACK,
+                time=at,
+                dst=dst,
+                attempts=attempts,
+                consecutive=consecutive,
+                severity=severity,
+            )
+        obs.metrics.counter("fault.rpc_budget_exhausted").inc()
 
     def receive(self, endpoint: str) -> Delivery | None:
         """Pop the earliest pending delivery for *endpoint* (or None)."""

@@ -30,7 +30,7 @@ from .recovery import (
     committed_rounds,
     survivor_cluster,
 )
-from .retry import RetryPolicy
+from .retry import RetryPolicy, budget_exhaustion_severity
 from .scenario import (
     FaultScenario,
     GpuCrash,
@@ -56,6 +56,7 @@ __all__ = [
     "RetryPolicy",
     "RpcFlakiness",
     "UnreliableNetwork",
+    "budget_exhaustion_severity",
     "committed_rounds",
     "run_detection",
     "survivor_cluster",

@@ -137,7 +137,10 @@ class FailureDetector:
                     )
                 self._state[gpu_id] = GpuHealth.DEAD
                 new.append(HealthTransition(dead_at, gpu_id, GpuHealth.DEAD))
-            elif now >= suspect_at and state is GpuHealth.ALIVE:
+            elif now > suspect_at and state is GpuHealth.ALIVE:
+                # Strictly past the threshold: a heartbeat arriving at
+                # exactly `suspect_at` is live evidence at that instant
+                # and wins the tie (no phantom SUSPECT/ALIVE flap pair).
                 self._state[gpu_id] = GpuHealth.SUSPECT
                 new.append(
                     HealthTransition(suspect_at, gpu_id, GpuHealth.SUSPECT)
@@ -152,7 +155,14 @@ class FailureDetector:
         state = self.state(gpu_id)
         if state is GpuHealth.DEAD:
             return []  # the lease already expired; DEAD is permanent
-        self._last_seen[gpu_id] = max(self._last_seen[gpu_id], now)
+        if now <= self._last_seen[gpu_id]:
+            # A stale/duplicate heartbeat (retried RPCs re-deliver, and
+            # deliveries can reorder) carries no fresh liveness evidence:
+            # it must neither extend the lease nor clear SUSPECT —
+            # otherwise a suspect GPU flaps HEALTHY and back on every
+            # duplicate of a heartbeat it sent before going quiet.
+            return []
+        self._last_seen[gpu_id] = now
         if state is GpuHealth.SUSPECT:
             transition = HealthTransition(now, gpu_id, GpuHealth.ALIVE)
             self._state[gpu_id] = GpuHealth.ALIVE

@@ -58,3 +58,15 @@ class RetryPolicy:
         digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
         unit = int.from_bytes(digest[:8], "big") / 2**64  # in [0, 1)
         return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+def budget_exhaustion_severity(consecutive: int) -> str:
+    """Grade a retry-budget exhaustion towards one destination.
+
+    A single exhausted budget is routine under a lossy network — the
+    caller usually has its own outer retry loop — so it grades as
+    ``"warning"``. Burning the budget twice or more *in a row* towards
+    the same destination means the endpoint is effectively unreachable:
+    ``"error"``.
+    """
+    return "error" if consecutive >= 2 else "warning"

@@ -1,0 +1,50 @@
+"""Self-healing control plane: detect → diagnose → remediate.
+
+The observability layer (:mod:`repro.obs`) grades anomalies into
+findings; this package closes the loop by *acting* on them while the run
+is still in flight. A :class:`RemediationEngine` subscribes to the
+flight-recorder stream like any monitor, evaluates its wrapped monitor
+catalogue incrementally (``Monitor.poll``), maps each finding type to a
+typed :class:`RemediationAction` through a declarative, user-overridable
+policy table, and applies the action through kernel/control hooks:
+
+========================  =======================================
+finding type              default action
+========================  =======================================
+``replan_storm``          :data:`throttle_replans <DEFAULT_POLICY>`
+``job_starvation``        ``boost_weight`` (capped, decaying)
+``utilization_collapse``  ``force_replan``
+``gpu_suspect``           ``quarantine_gpu``
+``rpc_budget_exhausted``  ``observe`` (log only)
+========================  =======================================
+
+Every action emits a ``ctrl``-category ``remediation`` instant plus
+``heal.*`` counters and lands in the :class:`RemediationLog` artifact
+(schema ``repro.remediation/1``) attached to
+:class:`~repro.control.controlplane.ChaosResult` /
+:class:`~repro.api.RunResult`. Findings with no policy entry (notably
+invariant violations — a correct run must never produce one, so there is
+nothing safe to auto-do) are recorded as *unremediated*; CI fails a heal
+run that ends with an unremediated ERROR.
+"""
+
+from .actions import (
+    REMEDIATION_SCHEMA,
+    RemediationAction,
+    RemediationLog,
+    RemediationRecord,
+)
+from .engine import HEAL_TRACK, RemediationEngine
+from .policy import DEFAULT_POLICY, ActionSpec, resolve_policy
+
+__all__ = [
+    "ActionSpec",
+    "DEFAULT_POLICY",
+    "HEAL_TRACK",
+    "REMEDIATION_SCHEMA",
+    "RemediationAction",
+    "RemediationEngine",
+    "RemediationLog",
+    "RemediationRecord",
+    "resolve_policy",
+]

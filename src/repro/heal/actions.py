@@ -1,0 +1,125 @@
+"""Typed remediation actions and the ``repro.remediation/1`` artifact.
+
+A :class:`RemediationAction` is what the policy table produces for a
+finding; a :class:`RemediationRecord` is one application attempt (the
+action, whether it took effect, and the finding that triggered it); the
+:class:`RemediationLog` collects every record plus the findings nothing
+was allowed to act on, and serializes to the ``repro.remediation/1``
+schema consumed by the CI heal-smoke gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..obs.monitors import Finding, Severity
+
+#: Schema tag for serialized remediation logs.
+REMEDIATION_SCHEMA = "repro.remediation/1"
+
+#: The action vocabulary (``observe`` is the explicit no-op: the finding
+#: was seen and deliberately only logged).
+ACTION_KINDS = (
+    "throttle_replans",
+    "boost_weight",
+    "force_replan",
+    "quarantine_gpu",
+    "observe",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RemediationAction:
+    """One typed action the engine decided to take."""
+
+    #: One of :data:`ACTION_KINDS`.
+    kind: str
+    #: The finding type (monitor name) that triggered it.
+    monitor: str
+    #: Sim time the triggering finding anchored to.
+    time: float
+    #: Resolved action parameters (gap, factor, cap, gpu, job, ...).
+    params: Mapping = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "monitor": self.monitor,
+            "time": self.time,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RemediationRecord:
+    """One application attempt: the action and whether it took effect."""
+
+    action: RemediationAction
+    #: False when the hook declined (no kernel attached, unresolvable
+    #: job id, quarantine would leave the residual infeasible, ...).
+    applied: bool
+    #: Short human-readable note on what happened.
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "action": self.action.to_json(),
+            "applied": self.applied,
+            "detail": self.detail,
+        }
+
+
+@dataclass(slots=True)
+class RemediationLog:
+    """Everything one healed run did (and declined to do)."""
+
+    records: list[RemediationRecord] = field(default_factory=list)
+    #: Findings with no policy entry — nothing was allowed to act.
+    unremediated: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity finding was left unremediated."""
+        return not self.unremediated_errors()
+
+    def unremediated_errors(self) -> list[Finding]:
+        return [
+            f for f in self.unremediated if f.severity >= Severity.ERROR
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Applied actions per kind (declined attempts excluded)."""
+        out: dict[str, int] = {}
+        for rec in self.records:
+            if rec.applied:
+                out[rec.action.kind] = out.get(rec.action.kind, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "schema": REMEDIATION_SCHEMA,
+            "ok": self.ok,
+            "actions": [rec.to_json() for rec in self.records],
+            "counts": self.counts(),
+            "unremediated": [f.to_json() for f in self.unremediated],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def summary(self) -> str:
+        counts = self.counts()
+        applied = ", ".join(
+            f"{n}× {kind}" for kind, n in sorted(counts.items())
+        ) or "no actions"
+        tail = (
+            f", {len(self.unremediated)} unremediated finding(s)"
+            if self.unremediated else ""
+        )
+        return f"remediation {'OK' if self.ok else 'FAILED'}: {applied}{tail}"

@@ -1,0 +1,79 @@
+"""The declarative finding-type → remediation-action policy table.
+
+Each entry maps a finding type (the emitting monitor's name, or the
+synthetic ``gpu_suspect`` type the engine derives from failure-detector
+transitions) to an :class:`ActionSpec`. Users override per run::
+
+    engine = RemediationEngine(
+        instance,
+        policy={
+            # react harder to starvation, ignore collapse entirely
+            "job_starvation": ActionSpec(
+                "boost_weight", {"factor": 4.0, "cap": 16.0}
+            ),
+            "utilization_collapse": None,
+        },
+    )
+
+``None`` removes the default entry: matching findings then land in the
+log's *unremediated* list like any unmapped finding. Invariant checkers
+(double booking, barrier violations, ...) are deliberately unmapped — a
+violated invariant means the run is wrong, and no online knob makes
+wrong results right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .actions import ACTION_KINDS
+
+
+@dataclass(frozen=True, slots=True)
+class ActionSpec:
+    """An action kind plus its default parameters."""
+
+    kind: str
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(
+                f"unknown remediation action {self.kind!r}; "
+                f"expected one of {ACTION_KINDS}"
+            )
+
+
+#: Default policy table. ``throttle_replans`` derives its minimum
+#: replan gap from the storm finding itself unless ``min_gap_s`` is
+#: given; ``boost_weight`` multiplies the starved job's weight by
+#: ``factor`` up to ``cap``, decaying back towards 1.0 by ``decay`` per
+#: evaluation cycle once the job stops being flagged.
+DEFAULT_POLICY: dict[str, ActionSpec] = {
+    "replan_storm": ActionSpec("throttle_replans"),
+    "job_starvation": ActionSpec(
+        "boost_weight", {"factor": 2.0, "cap": 8.0, "decay": 0.5}
+    ),
+    "utilization_collapse": ActionSpec("force_replan"),
+    "gpu_suspect": ActionSpec("quarantine_gpu"),
+    "rpc_budget_exhausted": ActionSpec("observe"),
+}
+
+
+def resolve_policy(
+    overrides: Mapping[str, ActionSpec | None] | None = None,
+) -> dict[str, ActionSpec]:
+    """The default table with *overrides* merged in (``None`` deletes)."""
+    table = dict(DEFAULT_POLICY)
+    for name, spec in (overrides or {}).items():
+        if spec is None:
+            table.pop(name, None)
+        elif isinstance(spec, ActionSpec):
+            table[name] = spec
+        else:
+            raise TypeError(
+                f"policy override for {name!r} must be an ActionSpec or "
+                f"None, got {type(spec).__name__}"
+            )
+    return table

@@ -58,6 +58,18 @@ class Policy(ABC):
         commit conservatively and rely on being asked again.
         """
 
+    def apply_remediation(self, action) -> bool:
+        """Accept or decline a remediation action (``repro.heal``).
+
+        *action* is a :class:`~repro.heal.actions.RemediationAction`
+        (duck-typed here to keep the kernel free of a heal import).
+        The base policy supports none of them — a clairvoyant plan has
+        nothing to throttle or boost — so everything is declined;
+        adaptive policies override (see
+        :meth:`repro.schedulers.online.OnlineHarePolicy.apply_remediation`).
+        """
+        return False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 

@@ -48,6 +48,7 @@ def build_residual_instance(
     ready_at: dict[int, float],
     *,
     gpu_subset: list[int] | None = None,
+    weight_boost: dict[int, float] | None = None,
 ) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
     """The residual problem: remaining rounds of *jobs*, optionally on a
     GPU subset.
@@ -60,10 +61,13 @@ def build_residual_instance(
 
     ``gpu_subset`` restricts the time matrices to the given (global) GPU
     columns — the fault-recovery path passes the surviving GPUs here, the
-    online scheduler keeps the full cluster.
+    online scheduler keeps the full cluster. ``weight_boost`` multiplies
+    per-job weights in the residual objective (the remediation engine's
+    ``boost_weight`` hook); the base instance is never mutated.
     """
     residual_jobs: list[Job] = []
     id_map: list[tuple[int, int]] = []
+    boost = weight_boost or {}
     for job in jobs:
         done = rounds_done[job.job_id]
         remaining = job.num_rounds - done
@@ -75,7 +79,7 @@ def build_residual_instance(
                 job_id=local_id,
                 model=job.model,
                 arrival=max(ready_at[job.job_id], job.arrival),
-                weight=job.weight,
+                weight=job.weight * boost.get(job.job_id, 1.0),
                 num_rounds=remaining,
                 sync_scale=job.sync_scale,
                 batch_scale=job.batch_scale,
@@ -110,6 +114,7 @@ def _fingerprint(
     rounds_done: dict[int, int],
     ready_at: dict[int, float],
     gpu_subset: list[int] | None,
+    weight_boost: dict[int, float] | None = None,
 ) -> tuple:
     return (
         tuple(
@@ -117,6 +122,7 @@ def _fingerprint(
             for j in jobs
         ),
         None if gpu_subset is None else tuple(gpu_subset),
+        None if not weight_boost else tuple(sorted(weight_boost.items())),
     )
 
 
@@ -143,10 +149,13 @@ class ResidualPlanner:
         ready_at: dict[int, float],
         *,
         gpu_subset: list[int] | None = None,
+        weight_boost: dict[int, float] | None = None,
     ) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
         """Cached :func:`build_residual_instance` over this instance."""
         obs = obs_current()
-        key = _fingerprint(jobs, rounds_done, ready_at, gpu_subset)
+        key = _fingerprint(
+            jobs, rounds_done, ready_at, gpu_subset, weight_boost
+        )
         hit = self._residuals.get(key)
         if hit is not None:
             self._residuals.move_to_end(key)
@@ -162,7 +171,7 @@ class ResidualPlanner:
         ):
             built = build_residual_instance(
                 self.instance, jobs, rounds_done, ready_at,
-                gpu_subset=gpu_subset,
+                gpu_subset=gpu_subset, weight_boost=weight_boost,
             )
         self._residuals[key] = built
         while len(self._residuals) > CACHE_SIZE:

@@ -88,12 +88,19 @@ class SchedulingKernel:
         restores: list[tuple[float, int]] | None = None,
         replan_interval: float | None = None,
         max_events: int | None = None,
+        heal=None,
     ) -> None:
         self.instance = instance
         self.policy = policy
         self.state = KernelState(instance)
         self.queue = EventQueue()
         self.replan_interval = replan_interval
+        #: Optional remediation engine (duck-typed: anything with
+        #: ``attach_kernel``); kept out of the type signature so the
+        #: kernel never imports :mod:`repro.heal`.
+        self.heal = heal
+        if heal is not None and hasattr(heal, "attach_kernel"):
+            heal.attach_kernel(self)
         self.processed = 0
         self.commitments = 0
         self.retracted_rounds = 0
@@ -133,6 +140,25 @@ class SchedulingKernel:
         """Push a follow-up event, clamped to the current clock."""
         self.queue.push(Event(max(time, self.queue.now), type_, payload))
 
+    def request_replan(self, time: float | None = None) -> bool:
+        """External re-plan hook (the remediation ``force_replan`` action).
+
+        Injects a one-shot ``REPLAN_TIMER`` wake-up at *time* (clamped
+        to the current clock). Returns False once the run is complete —
+        there is nothing left to re-plan.
+        """
+        if self.state.complete():
+            return False
+        # The "forced" payload keeps this one-shot out of the periodic
+        # timer chain (see _apply_event), so forcing never multiplies
+        # the timer cadence.
+        self._wake(
+            self.queue.now if time is None else time,
+            KernelEventType.REPLAN_TIMER,
+            "forced",
+        )
+        return True
+
     def _apply_event(self, event: Event) -> None:
         state = self.state
         state.now = self.queue.now
@@ -150,7 +176,11 @@ class SchedulingKernel:
                 state.phi[event.payload], state.now
             )
         elif event.type == KernelEventType.REPLAN_TIMER:
-            if self.replan_interval is not None and not state.complete():
+            if (
+                event.payload is None
+                and self.replan_interval is not None
+                and not state.complete()
+            ):
                 self.queue.push(
                     Event(
                         self.queue.now + self.replan_interval,
@@ -360,8 +390,14 @@ def run_policy(
     restores: list[tuple[float, int]] | None = None,
     replan_interval: float | None = None,
     max_events: int | None = None,
+    heal=None,
 ) -> KernelResult:
-    """Build a :class:`SchedulingKernel` for *policy* and run it."""
+    """Build a :class:`SchedulingKernel` for *policy* and run it.
+
+    *heal* is an optional :class:`repro.heal.RemediationEngine` (duck-
+    typed); it is attached to the kernel so remediation actions reach
+    the policy and event queue mid-run.
+    """
     return SchedulingKernel(
         instance,
         policy,
@@ -369,4 +405,5 @@ def run_policy(
         restores=restores,
         replan_interval=replan_interval,
         max_events=max_events,
+        heal=heal,
     ).run()

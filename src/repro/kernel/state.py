@@ -65,6 +65,14 @@ class KernelState:
     committed: Schedule = None  # type: ignore[assignment]
     #: Arrival times not yet fired, ascending (kernel-maintained).
     pending_arrivals: list[float] = field(default_factory=list)
+    #: Advisory per-job weight multipliers (remediation ``boost_weight``):
+    #: policies fold these into the residual objective. Aliased to the
+    #: remediation engine's live dict when one is attached.
+    weight_boost: dict[int, float] = field(default_factory=dict)
+    #: Advisory set of SUSPECT GPUs (remediation ``quarantine_gpu``):
+    #: policies avoid *new* commitments there, but these GPUs stay in
+    #: :attr:`alive` — quarantine is a preference, not a crash.
+    quarantined: set[int] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         inst = self.instance

@@ -31,12 +31,21 @@ suspicious, not provably wrong):
 * :class:`JobStarvationMonitor` — a job waits far longer than its peers
   between arrival and first committed compute;
 * :class:`UtilizationCollapseMonitor` — the whole cluster goes idle for a
-  long stretch while ready work exists.
+  long stretch while ready work exists;
+* :class:`RpcBudgetMonitor` — a transport destination exhausted its retry
+  budget (severity graded by how many times in a row).
 
 Control-plane recovery re-plans renumber the residual jobs, so a ``ctrl``
 ``replan …`` instant is an **epoch boundary**: per-job bookkeeping resets
 there (time-based checks, like GPU double-booking, carry across epochs
 because sim time stays global).
+
+Besides the post-hoc ``finish``, monitors support **incremental
+evaluation**: :meth:`Monitor.poll` evaluates the detector mid-run on the
+records seen so far without closing it. Findings already emitted by a
+``poll`` are deduplicated, so a later ``poll``/``finish`` reports only
+what is new — this is what lets the remediation engine
+(:mod:`repro.heal`) act on findings *while* the kernel is still running.
 """
 
 from __future__ import annotations
@@ -188,6 +197,17 @@ class Monitor:
 
     def finish(self, ctx: "DiagnosisContext") -> None:
         pass
+
+    def poll(self, ctx: "DiagnosisContext") -> None:
+        """Incremental evaluation: grade the records seen *so far*.
+
+        Unlike :meth:`finish` this may be called repeatedly mid-run;
+        implementations must deduplicate so each anomaly is reported
+        once. The default is a no-op — purely streaming monitors
+        (the invariant checkers, the replan-storm detector) already
+        emit from :meth:`observe`, and finish-time-only analyses
+        override this where a mid-run answer is meaningful.
+        """
 
     # -- helpers --------------------------------------------------------
     def emit(
@@ -546,10 +566,13 @@ class JobStarvationMonitor(Monitor):
         self.min_jobs = min_jobs
         self._arrival: dict[int, float] = {}
         self._first_start: dict[int, float] = {}
+        #: Jobs already reported (per epoch) — poll/finish idempotence.
+        self._reported: set[int] = set()
 
     def on_epoch(self, record: Record) -> None:
         self._arrival.clear()
         self._first_start.clear()
+        self._reported.clear()
 
     def on_record(self, record: Record) -> None:
         if record.kind == "instant" and record.name == "JOB_ARRIVED":
@@ -568,7 +591,7 @@ class JobStarvationMonitor(Monitor):
                 if prev is None or record.time < prev:
                     self._first_start[job] = record.time
 
-    def finish(self, ctx: DiagnosisContext) -> None:
+    def _evaluate(self, ctx: DiagnosisContext) -> None:
         arrivals = dict(self._arrival)
         if ctx.instance is not None:
             try:
@@ -586,7 +609,8 @@ class JobStarvationMonitor(Monitor):
         typical = median(sorted(waits.values()))
         threshold = max(self.min_wait_s, self.factor * max(typical, 1e-9))
         for job, wait in sorted(waits.items()):
-            if wait > threshold:
+            if wait > threshold and job not in self._reported:
+                self._reported.add(job)
                 self.emit(
                     Severity.WARNING,
                     f"job {job} waited {wait:.3f}s for its first task "
@@ -594,6 +618,12 @@ class JobStarvationMonitor(Monitor):
                     time=arrivals[job],
                     job=job, wait_s=wait, median_wait_s=typical,
                 )
+
+    def poll(self, ctx: DiagnosisContext) -> None:
+        self._evaluate(ctx)
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        self._evaluate(ctx)
 
 
 class UtilizationCollapseMonitor(Monitor):
@@ -617,6 +647,8 @@ class UtilizationCollapseMonitor(Monitor):
         self._tasks: list[tuple[float, int, int]] = []
         self._barrier: dict[tuple[int, int], float] = {}
         self._arrival: dict[int, float] = {}
+        #: Gaps already reported — poll/finish idempotence.
+        self._reported: set[tuple[float, float]] = set()
 
     def on_record(self, record: Record) -> None:
         if (
@@ -652,7 +684,7 @@ class UtilizationCollapseMonitor(Monitor):
                 return None
         return None
 
-    def finish(self, ctx: DiagnosisContext) -> None:
+    def _evaluate(self, ctx: DiagnosisContext) -> None:
         if not self._intervals:
             return
         merged = merge_intervals(self._intervals)
@@ -662,7 +694,7 @@ class UtilizationCollapseMonitor(Monitor):
         threshold = max(self.min_gap_s, self.gap_frac * horizon)
         for (s0, e0), (s1, _) in zip(merged, merged[1:]):
             gap = s1 - e0
-            if gap <= threshold:
+            if gap <= threshold or (e0, s1) in self._reported:
                 continue
             # Was anything runnable during the gap?
             for start, job, rnd in self._tasks:
@@ -670,6 +702,7 @@ class UtilizationCollapseMonitor(Monitor):
                     continue
                 ready = self._ready_time(ctx, job, rnd)
                 if ready is not None and ready < e0 + MONITOR_EPS:
+                    self._reported.add((e0, s1))
                     self.emit(
                         Severity.WARNING,
                         f"utilization collapse: cluster idle for "
@@ -679,6 +712,49 @@ class UtilizationCollapseMonitor(Monitor):
                         gap_s=gap, job=job, round=rnd, ready=ready,
                     )
                     break
+
+    def poll(self, ctx: DiagnosisContext) -> None:
+        self._evaluate(ctx)
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        self._evaluate(ctx)
+
+
+class RpcBudgetMonitor(Monitor):
+    """A transport destination exhausted its retry budget.
+
+    The simulated transport emits a ``fault``-category
+    ``rpc_budget_exhausted`` instant whenever ``send_with_retry`` gives
+    up on a destination, grading the severity by how many budgets in a
+    row that destination has burned (one exhaustion is routine under
+    lossy networks; consecutive exhaustions mean the endpoint is
+    effectively unreachable). This monitor lifts those instants into
+    findings so diagnosis reports — and the remediation engine — see
+    them without anyone having to catch the exception.
+    """
+
+    name = "rpc_budget_exhausted"
+
+    def on_record(self, record: Record) -> None:
+        if record.kind != "instant" or record.name != "rpc_budget_exhausted":
+            return
+        severity = (
+            Severity.ERROR
+            if record.args.get("severity") == "error"
+            else Severity.WARNING
+        )
+        dst = record.args.get("dst", "?")
+        attempts = record.args.get("attempts")
+        consecutive = record.args.get("consecutive", 1)
+        self.emit(
+            severity,
+            f"retry budget exhausted towards {dst!s} "
+            f"({attempts} attempts, {consecutive} consecutive "
+            f"exhaustion(s))",
+            time=record.time,
+            track=record.track,
+            dst=dst, attempts=attempts, consecutive=consecutive,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -694,6 +770,7 @@ def default_monitors(instance=None) -> list[Monitor]:
         ReplanStormMonitor(),
         JobStarvationMonitor(),
         UtilizationCollapseMonitor(),
+        RpcBudgetMonitor(),
     ]
 
 

@@ -113,6 +113,10 @@ class OnlineHarePolicy:
         self.placement = placement
         #: Re-planning passes performed so far (read by the kernel result).
         self.replans = 0
+        #: Minimum gap between *timer-driven* re-plans (remediation
+        #: ``throttle_replans``); 0 disables. Information-bearing events
+        #: (arrivals, crashes, restores) always re-plan.
+        self.replan_min_gap_s = 0.0
         self._last_replan: float | None = None
         self._planner: ResidualPlanner | None = None
 
@@ -132,6 +136,7 @@ class OnlineHarePolicy:
     # -- Policy protocol -------------------------------------------------
     def setup(self, state: KernelState) -> None:
         self.replans = 0
+        self.replan_min_gap_s = 0.0
         self._last_replan = None
         # Fresh planner normally; shared (memo-reusing) inside an active
         # kernel.residual.planner_scope — the sweep runner's worker loop.
@@ -144,13 +149,28 @@ class OnlineHarePolicy:
             return []
         if self._last_replan is not None and state.now == self._last_replan:
             return []  # one pass per distinct wake-up time
+        if (
+            event.type == KernelEventType.REPLAN_TIMER
+            and self.replan_min_gap_s > 0.0
+            and self._last_replan is not None
+            and state.now - self._last_replan < self.replan_min_gap_s - 1e-12
+        ):
+            # Throttled: a timer tick carries no new information, so
+            # skipping it cannot lose work — only information-bearing
+            # events bypass the gap (no livelock possible).
+            obs_current().metrics.counter("kernel.replans_throttled").inc()
+            return []
         planner = self._planner
         assert planner is not None
         known = state.known_jobs()
-        all_alive = len(state.alive) == state.instance.num_gpus
-        gpu_subset = None if all_alive else sorted(state.alive)
+        usable = self._usable_gpus(state, known)
+        gpu_subset = (
+            None if len(usable) == state.instance.num_gpus
+            else sorted(usable)
+        )
         residual, id_map = planner.residual(
-            known, state.rounds_done, state.ready_at, gpu_subset=gpu_subset
+            known, state.rounds_done, state.ready_at, gpu_subset=gpu_subset,
+            weight_boost=state.weight_boost or None,
         )
         if residual is None:
             return []
@@ -177,6 +197,37 @@ class OnlineHarePolicy:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _usable_gpus(state: KernelState, known: list[Job]) -> set[int]:
+        """Alive GPUs minus the quarantined ones — unless that would
+        leave the residual infeasible (fewer GPUs than the widest
+        remaining job needs), in which case quarantine is ignored:
+        it is advisory, feasibility wins."""
+        quarantined = state.quarantined
+        if not quarantined:
+            return state.alive
+        candidate = state.alive - quarantined
+        min_scale = max(
+            (
+                j.sync_scale for j in known
+                if state.rounds_done[j.job_id] < j.num_rounds
+            ),
+            default=1,
+        )
+        if len(candidate) >= min_scale:
+            return candidate
+        return state.alive
+
+    def apply_remediation(self, action) -> bool:
+        """Accept ``throttle_replans`` (clamp the timer wake-up rate)."""
+        if getattr(action, "kind", None) != "throttle_replans":
+            return False
+        gap = float(action.params.get("min_gap_s", 0.0))
+        if gap <= 0.0:
+            return False
+        self.replan_min_gap_s = max(self.replan_min_gap_s, gap)
+        return True
+
     def _commitments(
         self,
         plan: Schedule,

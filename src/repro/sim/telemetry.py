@@ -6,13 +6,13 @@ route every scalar mutation through named instruments (``sim.*`` counters
 and histograms), and the legacy attributes (``switch_count``,
 ``retention_hits``, ``total_switch_time``, ...) are properties reading the
 registry back. The aggregate durations that used to be methods are
-properties like :attr:`makespan`; the old callable form still works for one
-release via a deprecation shim.
+properties like :attr:`makespan`; the deprecated callable shim that briefly
+kept the old ``telemetry.metric()`` form alive has been removed — the
+properties return plain floats.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,35 +20,6 @@ import numpy as np
 from ..core.schedule import merge_intervals
 from ..core.types import TaskRef
 from ..obs.metrics import MetricsRegistry
-
-
-class _CallableMetric(float):
-    """A float that tolerates the pre-redesign ``telemetry.metric()`` form.
-
-    ``Telemetry.total_switch_time`` et al. used to be methods; they are
-    properties now. The property returns this float subclass so legacy
-    call sites keep working (with a :class:`DeprecationWarning`) while new
-    code reads the value directly.
-
-    Hard-deprecated: the callable form will be removed in PR 6, after
-    which these properties return plain floats.
-    """
-
-    __slots__ = ("_alias",)
-
-    def __new__(cls, value: float, alias: str):
-        self = super().__new__(cls, value)
-        self._alias = alias
-        return self
-
-    def __call__(self) -> float:
-        warnings.warn(
-            f"Telemetry.{self._alias}() is deprecated and will be removed "
-            f"in PR 6; read the {self._alias!r} property instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return float(self)
 
 
 @dataclass(frozen=True, slots=True)
@@ -145,23 +116,17 @@ class Telemetry:
         return max(r.sync_end for r in self.records)
 
     @property
-    def total_switch_time(self) -> _CallableMetric:
-        return _CallableMetric(
-            self.metrics.histogram("sim.switch_time_s").total,
-            "total_switch_time",
-        )
+    def total_switch_time(self) -> float:
+        return self.metrics.histogram("sim.switch_time_s").total
 
     @property
-    def total_train_time(self) -> _CallableMetric:
-        return _CallableMetric(
-            self.metrics.histogram("sim.train_time_s").total,
-            "total_train_time",
-        )
+    def total_train_time(self) -> float:
+        return self.metrics.histogram("sim.train_time_s").total
 
     def switch_overhead_fraction(self) -> float:
         """Switch time as a fraction of train time (the Table 3 percent)."""
-        train = float(self.total_train_time)
-        return float(self.total_switch_time) / train if train > 0 else 0.0
+        train = self.total_train_time
+        return self.total_switch_time / train if train > 0 else 0.0
 
     def gpu_utilization(self, *, horizon: float | None = None) -> dict[int, float]:
         """Compute-busy fraction per GPU over [0, horizon].
@@ -182,10 +147,9 @@ class Telemetry:
         return out
 
     @property
-    def mean_utilization(self) -> _CallableMetric:
+    def mean_utilization(self) -> float:
         utils = self.gpu_utilization()
-        value = float(np.mean(list(utils.values()))) if utils else 0.0
-        return _CallableMetric(value, "mean_utilization")
+        return float(np.mean(list(utils.values()))) if utils else 0.0
 
     def plan_deviation(self) -> float:
         """Max relative start-time slip vs the plan (sim-accuracy metric).

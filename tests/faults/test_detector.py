@@ -74,6 +74,44 @@ class TestFailureDetector:
         times = [t.time for t in det.transitions if t.gpu_id == 0]
         assert times == [2.0, 5.0]
 
+    def test_suspect_healthy_suspect_dead_sequence(self):
+        """Regression: the full flap cycle emits exactly one transition
+        per real state change — suspect, healthy, suspect, dead."""
+        det = FailureDetector(cfg=self.cfg())
+        det.register(0, now=0.0)
+        det.observe(0, 1.0)
+        det.advance(3.5)  # 1.0 + suspect window 2.0 = 3.0 < 3.5
+        assert det.state(0) is GpuHealth.SUSPECT
+        det.observe(0, 4.0)  # fresh heartbeat clears the suspicion
+        assert det.state(0) is GpuHealth.ALIVE
+        det.advance(9.5)  # suspect again at 6.0, lease expires at 9.0
+        assert det.state(0) is GpuHealth.DEAD
+        states = [t.state for t in det.transitions]
+        assert states == [
+            GpuHealth.SUSPECT, GpuHealth.ALIVE,
+            GpuHealth.SUSPECT, GpuHealth.DEAD,
+        ]
+        times = [t.time for t in det.transitions]
+        assert times == [3.0, 4.0, 6.0, 9.0]
+
+    def test_stale_heartbeat_does_not_clear_suspect(self):
+        """Regression (flapping): a duplicate/reordered heartbeat no newer
+        than the last seen one must not fake recovery or extend the
+        lease."""
+        det = FailureDetector(cfg=self.cfg())
+        det.register(0, now=0.0)
+        det.observe(0, 2.0)
+        det.advance(4.5)  # SUSPECT at 4.0
+        assert det.state(0) is GpuHealth.SUSPECT
+        # A retried copy of the t=2.0 heartbeat arrives late: stale.
+        assert det.observe(0, 2.0) == []
+        assert det.state(0) is GpuHealth.SUSPECT
+        det.advance(100.0)
+        # The lease still runs from the genuine t=2.0 heartbeat.
+        assert det.detected_at(0) == pytest.approx(7.0)
+        states = [t.state for t in det.transitions]
+        assert states == [GpuHealth.SUSPECT, GpuHealth.DEAD]
+
     def test_unregistered_gpu_rejected(self):
         det = FailureDetector(cfg=self.cfg())
         with pytest.raises(ConfigurationError):

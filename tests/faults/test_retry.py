@@ -127,3 +127,72 @@ class TestUnreliableSend:
         # net.dropped also counts ack-loss draws that never hit a link
         assert 0 < totals.dropped <= net.dropped
         assert totals.retries > 0 and totals.timeouts > 0
+
+
+class DropEverything:
+    """Fault model that loses every message (and every ack)."""
+
+    def drops(self, src, dst, t):
+        return True
+
+
+class TestBudgetExhaustion:
+    def test_severity_grading(self):
+        from repro.faults import budget_exhaustion_severity
+
+        assert budget_exhaustion_severity(1) == "warning"
+        assert budget_exhaustion_severity(2) == "error"
+        assert budget_exhaustion_severity(5) == "error"
+
+    def test_exhaustion_emits_graded_fault_instants(self):
+        from repro.obs import Obs, use
+        from repro.obs.monitors import RpcBudgetMonitor, Severity
+
+        monitor = RpcBudgetMonitor()
+        obs = Obs.start(trace=False, record=True, monitors=[monitor])
+        with use(obs):
+            t = transport(DropEverything())
+            policy = RetryPolicy(max_attempts=3, timeout_s=0.1)
+            out1 = t.send_with_retry("a", "b", message(0), policy)
+            out2 = t.send_with_retry("a", "b", message(1), policy)
+        assert not out1.acked and not out2.acked
+        instants = obs.recorder.query(
+            kind="instant", name="rpc_budget_exhausted"
+        )
+        assert [r.args["consecutive"] for r in instants] == [1, 2]
+        assert [r.args["severity"] for r in instants] == ["warning", "error"]
+        assert all(r.args["dst"] == "b" for r in instants)
+        assert obs.metrics.counter("fault.rpc_budget_exhausted").value == 2
+        # the monitor lifts them into findings with matching severities
+        assert [f.severity for f in monitor.findings] == [
+            Severity.WARNING, Severity.ERROR,
+        ]
+        assert monitor.findings[0].details["dst"] == "b"
+
+    def test_success_resets_the_consecutive_count(self):
+        from repro.obs import Obs, use
+
+        obs = Obs.start(trace=False, record=True)
+        with use(obs):
+            faults = DropEverything()
+            t = transport(faults)
+            policy = RetryPolicy(max_attempts=2, timeout_s=0.1)
+            t.send_with_retry("a", "b", message(0), policy)  # exhausts: 1
+            t.faults = None
+            assert t.send_with_retry("a", "b", message(1), policy).acked
+            t.faults = faults
+            t.send_with_retry("a", "b", message(2), policy)  # exhausts anew
+        instants = obs.recorder.query(
+            kind="instant", name="rpc_budget_exhausted"
+        )
+        assert [r.args["consecutive"] for r in instants] == [1, 1]
+        assert [r.args["severity"] for r in instants] == [
+            "warning", "warning",
+        ]
+
+    def test_exhaustion_without_obs_still_counts(self):
+        t = transport(DropEverything())
+        policy = RetryPolicy(max_attempts=2, timeout_s=0.1)
+        out = t.send_with_retry("a", "b", message(0), policy)
+        assert not out.acked
+        assert t._exhausted["b"] == 1

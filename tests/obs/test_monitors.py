@@ -226,6 +226,7 @@ class TestReplay:
             "gpu_double_booking", "round_barrier",
             "commitment_monotonicity", "utilization_conservation",
             "replan_storm", "job_starvation", "utilization_collapse",
+            "rpc_budget_exhausted",
         }
 
 

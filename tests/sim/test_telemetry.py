@@ -108,50 +108,15 @@ class TestMetricsRegistry:
         t = Telemetry(num_gpus=1)
         t.record_task(record(start=0.0, switch=0.25, train=2.0, sync=0.5))
         t.record_task(record(rnd=1, start=3.0, switch=0.25, train=2.0))
-        assert float(t.total_switch_time) == pytest.approx(0.5)
-        assert float(t.total_train_time) == pytest.approx(4.0)
+        assert t.total_switch_time == pytest.approx(0.5)
+        assert t.total_train_time == pytest.approx(4.0)
 
-
-class TestDeprecatedCallableAliases:
-    """Legacy call-style access still works, with a DeprecationWarning."""
-
-    def test_total_switch_time_callable_warns(self):
+    def test_aggregates_are_plain_floats(self):
+        """The callable deprecation shim is gone: the aggregate properties
+        return plain (non-callable) floats."""
         t = Telemetry(num_gpus=1)
         t.record_task(record(start=1.0, switch=0.5))
-        with pytest.deprecated_call():
-            assert t.total_switch_time() == pytest.approx(0.5)
-
-    def test_total_train_time_callable_warns(self):
-        t = Telemetry(num_gpus=1)
-        t.record_task(record())
-        with pytest.deprecated_call():
-            assert t.total_train_time() == pytest.approx(2.0)
-
-    def test_mean_utilization_callable_warns(self):
-        t = Telemetry(num_gpus=1)
-        t.record_task(record(start=0.0, train=2.0, sync=0.0))
-        with pytest.deprecated_call():
-            called = t.mean_utilization()
-        assert called == pytest.approx(t.mean_utilization)
-
-    def test_property_access_does_not_warn(self, recwarn):
-        t = Telemetry(num_gpus=1)
-        t.record_task(record())
-        _ = float(t.total_train_time) + float(t.total_switch_time)
-        _ = t.mean_utilization + 0.0
-        deprecations = [
-            w for w in recwarn.list
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert not deprecations
-
-    def test_warning_pins_the_removal_release(self):
-        """Hard deprecation: the message must name the removal PR so the
-        callable shim cannot silently outlive its schedule."""
-        t = Telemetry(num_gpus=1)
-        t.record_task(record(start=1.0, switch=0.5))
-        with pytest.warns(
-            DeprecationWarning,
-            match=r"will be removed in PR 6.*total_switch_time",
-        ):
-            t.total_switch_time()
+        for value in (t.total_switch_time, t.total_train_time,
+                      t.mean_utilization):
+            assert type(value) is float
+            assert not callable(value)

@@ -245,7 +245,8 @@ class TestDiagnosisAndRecorder:
         diagnosis = monitored_run.diagnosis
         assert diagnosis is not None
         assert diagnosis.records_seen > 0
-        assert len(diagnosis.monitors) == 7
+        assert len(diagnosis.monitors) == 8
+        assert "rpc_budget_exhausted" in diagnosis.monitors
         assert diagnosis.invariant_violations() == []
 
     def test_plain_run_has_no_diagnosis(self, hare_run):
