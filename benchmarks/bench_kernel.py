@@ -8,7 +8,10 @@ residual-solve latency quantiles pulled from the ``kernel.*`` obs
 histograms. The ``sched_throughput`` arm additionally measures Algorithm
 1's hot path in isolation (order + list-schedule tasks/sec at 600-, 2k-
 and 10k-task scales, vectorized vs ``_reference_`` implementations, plus
-``sched.phase.*`` quantiles). CI's ``bench-smoke`` job runs this and
+``sched.phase.*`` quantiles). The ``array_kernel`` arm races the
+vectorized array event loop against the pinned reference loop on three
+workload shapes and reports ``kernel_speedup_x`` (CI gates the
+``gang_online`` arm at ≥10x). CI's ``bench-smoke`` job runs this and
 uploads the artifact; it is a smoke + trend probe, not a rigorous perf
 harness.
 
@@ -180,6 +183,121 @@ SCHED_SCALES: dict[str, tuple[int, int, int, int]] = {
 }
 
 
+class _FrozenPlanner:
+    """Planner stub replaying a precomputed plan: isolates the kernel
+    event loop from the Hare solve, which would otherwise dominate the
+    planned arm's wall time (the loop is what the backends differ in)."""
+
+    name = "Hare_Frozen"
+
+    def __init__(self, plan):
+        self._plan = plan
+
+    def schedule(self, instance):
+        return self._plan
+
+
+def _wide_gang_instance(seed: int, *, n_jobs=24, gpus=160, scale=64,
+                        rounds=25):
+    """Large-gang streaming workload (38 400 tasks): the ONLINE shape the
+    array backend's batched drain is built for."""
+    rng = np.random.default_rng(seed)
+    models = list(ModelName)
+    jobs = [
+        Job(
+            job_id=i,
+            model=models[i % len(models)].value,
+            arrival=float(rng.uniform(0.0, 50.0)),
+            weight=float(rng.uniform(0.5, 2.0)),
+            num_rounds=rounds,
+            sync_scale=scale,
+        )
+        for i in range(n_jobs)
+    ]
+    return build_instance(jobs, scaled_cluster(gpus))
+
+
+def bench_array_kernel(seed: int, *, repeats: int = 3) -> dict:
+    """Array vs reference event-loop throughput, three workload shapes.
+
+    Each arm runs the identical policy through both kernel backends
+    (best wall time of *repeats* after a warm-up pass), asserts the two
+    backends produced byte-identical results — the bench would otherwise
+    gate on a broken comparison — and reports both events/sec rates plus
+    ``kernel_speedup_x``. CI's bench-smoke holds the ``gang_online``
+    arm's speedup at ≥10x (mirroring the ``list_speedup_x >= 3`` gate);
+    ``planned_frozen`` exercises the planned fast path on a frozen plan
+    and ``online_replan`` the solver-bound re-planning path — both
+    reported, not gated (the latter is dominated by the relaxation
+    solve, not the loop).
+    """
+    from repro.schedulers import SrtfScheduler
+
+    def best_run(instance, policy_factory, backend):
+        with use(Obs.start(trace=False)):
+            run_policy(
+                instance, policy_factory(), kernel_backend=backend
+            )
+        best_wall, best_result = float("inf"), None
+        for _ in range(repeats):
+            with use(Obs.start(trace=False)):
+                t0 = time.perf_counter()
+                result = run_policy(
+                    instance, policy_factory(), kernel_backend=backend
+                )
+                wall_s = time.perf_counter() - t0
+            if wall_s < best_wall:
+                best_wall, best_result = wall_s, result
+        return best_wall, best_result
+
+    def arm(instance, policy_factory) -> dict:
+        ref_wall, ref = best_run(instance, policy_factory, "reference")
+        arr_wall, arr = best_run(instance, policy_factory, "array")
+        if (arr.events, arr.commitments, arr.replans) != (
+            ref.events, ref.commitments, ref.replans
+        ) or arr.metrics.total_weighted_completion != (
+            ref.metrics.total_weighted_completion
+        ):
+            raise AssertionError(
+                "array backend diverged from the reference loop"
+            )
+        eps_ref = ref.events / ref_wall if ref_wall > 0 else 0.0
+        eps_arr = arr.events / arr_wall if arr_wall > 0 else 0.0
+        return {
+            "tasks": instance.num_tasks,
+            "gpus": instance.num_gpus,
+            "events": ref.events,
+            "commitments": ref.commitments,
+            "replans": ref.replans,
+            "events_per_sec_reference": eps_ref,
+            "events_per_sec_array": eps_arr,
+            "kernel_speedup_x": eps_arr / eps_ref if eps_ref > 0 else 0.0,
+        }
+
+    gang_instance = _wide_gang_instance(seed)
+    planned_instance = _sched_instance(125, 16, 5, 48, seed)
+    frozen = _FrozenPlanner(
+        HareScheduler(relaxation="fluid").schedule(planned_instance)
+    )
+    online_instance = _wide_gang_instance(
+        seed, n_jobs=24, gpus=15, scale=3, rounds=8
+    )
+    return {
+        "gang_online": arm(
+            gang_instance, lambda: SrtfScheduler().make_policy(
+                gang_instance
+            )
+        ),
+        "planned_frozen": arm(
+            planned_instance, lambda: PlannedPolicy(frozen)
+        ),
+        "online_replan": arm(
+            online_instance,
+            lambda: OnlineHarePolicy(relaxation="fluid"),
+        ),
+    }
+
+
 def _sched_instance(n_jobs: int, rounds: int, scale: int, gpus: int, seed: int):
     """Deterministic dense instance of exactly n_jobs*rounds*scale tasks."""
     rng = np.random.default_rng(seed)
@@ -304,6 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "heal": bench_heal(instance),
         "sched_throughput": bench_sched_throughput(args.seed),
+        "array_kernel": bench_array_kernel(args.seed),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

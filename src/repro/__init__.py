@@ -35,7 +35,13 @@ from . import (
     workload,
 )
 from . import api
-from .api import CompareResult, RunResult, compare, run_experiment
+from .api import (
+    CompareResult,
+    ExperimentSpec,
+    RunResult,
+    compare,
+    run_experiment,
+)
 from .harness.experiments import ExperimentResult, quick_compare, run_comparison
 
 __version__ = "1.0.0"
@@ -43,6 +49,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CompareResult",
     "ExperimentResult",
+    "ExperimentSpec",
     "RunResult",
     "__version__",
     "api",

@@ -41,7 +41,7 @@ from .core.schedule import Schedule, validate_schedule
 from .core.types import SwitchMode
 from .harness.experiments import make_loaded_workload, make_problem
 from .heal import RemediationEngine, RemediationLog
-from .kernel import KernelResult, run_policy
+from .kernel import KERNEL_BACKENDS, KernelResult, run_policy
 from .obs import (
     Obs,
     build_manifest,
@@ -73,6 +73,120 @@ DEFAULT_SCHEMES = (
 )
 
 _ARRIVALS_MODES = ("planned", "streaming")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """Typed, validated description of one :func:`run_experiment` run.
+
+    Bundles every experiment parameter into one frozen value: hashable,
+    comparable, and checked for cross-field consistency at construction
+    (not halfway into a run) — ``heal``/``replan_interval``/``crashes``
+    require ``arrivals="streaming"``, ``arrivals`` and
+    ``kernel_backend`` must name known modes. Mutable inputs
+    (``workload``, ``crashes``) are normalized to tuples so a spec never
+    aliases caller state.
+
+    :func:`run_experiment` accepts a spec positionally
+    (``run_experiment(spec)``) or builds one from its keyword arguments;
+    :func:`compare`, :func:`repro.sweep.sweep` and the CLI construct
+    specs internally, so every entry point funnels through the same
+    validation. :meth:`to_dict` is the manifest's ``config`` block.
+    """
+
+    gpus: int = 15
+    jobs: int = 20
+    scheduler: SchedulerSpec = "hare"
+    seed: int = 0
+    load: float = 1.5
+    rounds_scale: float = 0.15
+    simulate: bool = True
+    switch_mode: SwitchMode = SwitchMode.HARE
+    trace: bool = True
+    validate: bool = True
+    cluster: Cluster | None = None
+    workload: tuple[Job, ...] | None = None
+    arrivals: ArrivalsMode = "planned"
+    record: bool = False
+    monitors: bool = False
+    heal: bool = False
+    replan_interval: float | None = None
+    crashes: tuple[tuple[float, int], ...] | None = None
+    #: Kernel event-loop implementation for streaming runs
+    #: (:data:`repro.kernel.KERNEL_BACKENDS`).
+    kernel_backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.arrivals not in _ARRIVALS_MODES:
+            raise ValueError(
+                f"arrivals must be one of {_ARRIVALS_MODES}, "
+                f"got {self.arrivals!r}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
+            )
+        if self.arrivals != "streaming" and (
+            self.heal or self.replan_interval is not None or self.crashes
+        ):
+            raise ValueError(
+                "heal / replan_interval / crashes require "
+                "arrivals='streaming' (they act on the kernel event loop)"
+            )
+        if self.workload is not None and not isinstance(
+            self.workload, tuple
+        ):
+            object.__setattr__(self, "workload", tuple(self.workload))
+        if self.crashes is not None and (
+            not isinstance(self.crashes, tuple)
+            or any(not isinstance(c, tuple) for c in self.crashes)
+        ):
+            object.__setattr__(
+                self,
+                "crashes",
+                tuple((float(t), int(g)) for t, g in self.crashes),
+            )
+
+    def to_dict(self) -> dict:
+        """The manifest ``config`` block: resolved, JSON-ready scalars.
+
+        ``gpus``/``jobs`` reflect an explicit ``cluster``/``workload``
+        when one was passed; default-valued optional knobs
+        (``heal=False``, ``replan_interval=None``,
+        ``kernel_backend="auto"``, ``crashes=None``) are omitted so
+        configs stay byte-identical with pre-spec manifests.
+        """
+        config = {
+            "gpus": (
+                self.cluster.num_gpus if self.cluster is not None
+                else self.gpus
+            ),
+            "jobs": (
+                len(self.workload) if self.workload is not None
+                else self.jobs
+            ),
+            "scheduler": (
+                self.scheduler.name
+                if isinstance(self.scheduler, Scheduler)
+                else str(self.scheduler)
+            ),
+            "seed": self.seed,
+            "load": self.load,
+            "rounds_scale": self.rounds_scale,
+            "simulate": self.simulate,
+            "switch_mode": self.switch_mode.value,
+            "arrivals": self.arrivals,
+        }
+        if self.heal:
+            config["heal"] = True
+        if self.replan_interval is not None:
+            config["replan_interval"] = self.replan_interval
+        if self.crashes:
+            config["crashes"] = [list(c) for c in self.crashes]
+        if self.kernel_backend != "auto":
+            config["kernel_backend"] = self.kernel_backend
+        return config
 
 
 @dataclass(slots=True)
@@ -330,7 +444,8 @@ def _run_one(
     monitors: bool = False,
     heal: bool = False,
     replan_interval: float | None = None,
-    crashes: list[tuple[float, int]] | None = None,
+    crashes: Sequence[tuple[float, int]] | None = None,
+    kernel_backend: str = "auto",
 ) -> RunResult:
     if arrivals not in _ARRIVALS_MODES:
         raise ValueError(
@@ -363,10 +478,11 @@ def _run_one(
                 crashes=crashes,
                 replan_interval=replan_interval,
                 heal=engine,
+                kernel_backend=kernel_backend,
             )
             plan = kernel_result.schedule
         else:
-            plan = sched.schedule(instance)
+            plan = sched.plan(instance)
         if validate:
             validate_schedule(plan)
         sim = (
@@ -395,27 +511,15 @@ def _run_one(
 
 
 def run_experiment(
-    *,
-    gpus: int = 15,
-    jobs: int = 20,
-    scheduler: SchedulerSpec = "hare",
-    seed: int = 0,
-    load: float = 1.5,
-    rounds_scale: float = 0.15,
-    simulate: bool = True,
-    switch_mode: SwitchMode = SwitchMode.HARE,
-    trace: bool = True,
-    validate: bool = True,
-    cluster: Cluster | None = None,
-    workload: Sequence[Job] | None = None,
-    arrivals: ArrivalsMode = "planned",
-    record: bool = False,
-    monitors: bool = False,
-    heal: bool = False,
-    replan_interval: float | None = None,
-    crashes: list[tuple[float, int]] | None = None,
+    spec: ExperimentSpec | None = None, /, **kwargs
 ) -> RunResult:
     """Run one scheduler end-to-end on a generated (or given) workload.
+
+    Accepts either a prebuilt :class:`ExperimentSpec` positionally —
+    ``run_experiment(spec)`` — or the spec's fields as keyword arguments
+    (``run_experiment(gpus=30, scheduler="srtf")``), which are forwarded
+    to the :class:`ExperimentSpec` constructor and validated there.
+    Mixing both is an error.
 
     The workload is the loaded Google-like mix of the paper's experiments
     (``load`` × the reference cluster's capacity). Passing ``cluster``
@@ -444,33 +548,35 @@ def run_experiment(
     :attr:`RunResult.remediation`. ``replan_interval`` arms the kernel's
     periodic ``REPLAN_TIMER`` and ``crashes`` injects permanent GPU
     failures as ``(time, gpu)`` events — both streaming-only too.
+
+    ``kernel_backend`` selects the streaming event-loop implementation
+    (:data:`repro.kernel.KERNEL_BACKENDS`); ``"auto"`` picks the
+    vectorized array backend for large instances.
     """
+    if spec is not None and kwargs:
+        raise TypeError(
+            "run_experiment() takes either an ExperimentSpec or keyword "
+            "arguments, not both"
+        )
+    if spec is None:
+        spec = ExperimentSpec(**kwargs)
+    elif not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "run_experiment() positional argument must be an "
+            f"ExperimentSpec, got {type(spec).__name__}"
+        )
     cluster, workload, instance = _setup(
-        gpus=gpus, jobs=jobs, seed=seed, load=load,
-        rounds_scale=rounds_scale, cluster=cluster, workload=workload,
+        gpus=spec.gpus, jobs=spec.jobs, seed=spec.seed, load=spec.load,
+        rounds_scale=spec.rounds_scale, cluster=spec.cluster,
+        workload=spec.workload,
     )
-    config = {
-        "gpus": cluster.num_gpus,
-        "jobs": len(workload),
-        "scheduler": str(scheduler) if not isinstance(scheduler, Scheduler)
-        else scheduler.name,
-        "seed": seed,
-        "load": load,
-        "rounds_scale": rounds_scale,
-        "simulate": simulate,
-        "switch_mode": switch_mode.value,
-        "arrivals": arrivals,
-    }
-    if heal:
-        config["heal"] = True
-    if replan_interval is not None:
-        config["replan_interval"] = replan_interval
     return _run_one(
-        scheduler, cluster, instance,
-        simulate=simulate, switch_mode=switch_mode, trace=trace,
-        validate=validate, config=config, arrivals=arrivals,
-        record=record, monitors=monitors,
-        heal=heal, replan_interval=replan_interval, crashes=crashes,
+        spec.scheduler, cluster, instance,
+        simulate=spec.simulate, switch_mode=spec.switch_mode,
+        trace=spec.trace, validate=spec.validate, config=spec.to_dict(),
+        arrivals=spec.arrivals, record=spec.record, monitors=spec.monitors,
+        heal=spec.heal, replan_interval=spec.replan_interval,
+        crashes=spec.crashes, kernel_backend=spec.kernel_backend,
     )
 
 
@@ -537,6 +643,7 @@ def compare(
     arrivals: ArrivalsMode = "planned",
     record: bool = False,
     monitors: bool = False,
+    kernel_backend: str = "auto",
 ) -> CompareResult:
     """Run several schedulers on one shared workload.
 
@@ -544,13 +651,15 @@ def compare(
     gets a private tracer and registry; :meth:`CompareResult.write_trace`
     merges them into one Perfetto file with a process per scheduler.
     ``arrivals="streaming"`` drives every scheme through the
-    :mod:`repro.kernel` event loop instead of offline planning.
+    :mod:`repro.kernel` event loop instead of offline planning; every
+    scheme's run is described by an :class:`ExperimentSpec` internally,
+    so the same construction-time validation applies.
     """
     cluster, workload, instance = _setup(
         gpus=gpus, jobs=jobs, seed=seed, load=load,
         rounds_scale=rounds_scale, cluster=cluster, workload=workload,
     )
-    specs = list(schedulers) if schedulers is not None else list(
+    schemes = list(schedulers) if schedulers is not None else list(
         DEFAULT_SCHEMES
     )
     config = {
@@ -563,13 +672,24 @@ def compare(
         "switch_mode": switch_mode.value,
         "arrivals": arrivals,
     }
+    if kernel_backend != "auto":
+        config["kernel_backend"] = kernel_backend
     results: dict[str, RunResult] = {}
-    for spec in specs:
-        run = _run_one(
-            spec, cluster, instance,
-            simulate=simulate, switch_mode=switch_mode, trace=trace,
-            validate=validate, config=config, arrivals=arrivals,
+    for scheme in schemes:
+        spec = ExperimentSpec(
+            gpus=gpus, jobs=jobs, scheduler=scheme, seed=seed, load=load,
+            rounds_scale=rounds_scale, simulate=simulate,
+            switch_mode=switch_mode, trace=trace, validate=validate,
+            cluster=cluster, workload=tuple(workload), arrivals=arrivals,
             record=record, monitors=monitors,
+            kernel_backend=kernel_backend,
+        )
+        run = _run_one(
+            spec.scheduler, cluster, instance,
+            simulate=spec.simulate, switch_mode=spec.switch_mode,
+            trace=spec.trace, validate=spec.validate, config=config,
+            arrivals=spec.arrivals, record=spec.record,
+            monitors=spec.monitors, kernel_backend=spec.kernel_backend,
         )
         results[run.scheduler] = run
     return CompareResult(results=results, config=config)
@@ -579,6 +699,7 @@ __all__ = [
     "ArrivalsMode",
     "CompareResult",
     "DEFAULT_SCHEMES",
+    "ExperimentSpec",
     "RunResult",
     "SchedulerSpec",
     "SweepPoint",

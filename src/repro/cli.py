@@ -52,6 +52,7 @@ from .core import improvement_percent
 from .core.types import ModelName, SwitchMode
 from .harness import render_table
 from .harness.experiments import make_loaded_workload
+from .kernel import KERNEL_BACKENDS
 from .schedulers import create as create_scheduler
 from .switching import switch_time_table
 from .workload import WorkloadConfig, batch_time, speedup_table
@@ -117,6 +118,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         simulate=simulate,
         trace=_wants_artifacts(args),
         arrivals=getattr(args, "arrivals", "planned"),
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
     )
     results = comparison.results
     hare = results["Hare"].metrics.total_weighted_flow
@@ -167,6 +169,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         simulate=simulate,
         trace=_wants_artifacts(args),
         arrivals=getattr(args, "arrivals", "planned"),
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
     )
     m = r.metrics
     rows = [
@@ -402,6 +405,7 @@ def cmd_heal(args: argparse.Namespace) -> int:
         arrivals="streaming",
         replan_interval=args.replan_interval,
         crashes=crashes,
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
     )
     base = api.run_experiment(**common)
     healed = api.run_experiment(**common, heal=True)
@@ -465,6 +469,7 @@ def cmd_record(args: argparse.Namespace) -> int:
         simulate=True,
         trace=False,
         arrivals=getattr(args, "arrivals", "planned"),
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
         record=True,
         monitors=not args.no_monitors,
     )
@@ -586,6 +591,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             simulate=bool(config.get("simulate", True)),
             switch_mode=SwitchMode(config.get("switch_mode", "hare")),
             arrivals=config.get("arrivals", "planned"),
+            kernel_backend=config.get("kernel_backend", "auto"),
             trace=False,
         )
         cand_flat = flatten_metrics(result.metrics_snapshot())
@@ -633,6 +639,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         simulate=not args.no_simulate,
         workers=args.workers,
         arrivals=args.arrivals,
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
     )
     rows = [
         [p.scheduler, p.seed, p.gpus, p.weighted_jct, p.makespan]
@@ -771,6 +778,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="planned = offline clairvoyant planning; "
                             "streaming = feed arrivals as events through "
                             "the scheduling kernel")
+        p.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
+                       default="auto", dest="kernel_backend",
+                       help="streaming event-loop implementation: auto = "
+                            "pick by instance size, array = vectorized "
+                            "batch loop, reference = pinned per-event loop")
         p.add_argument("--trace", metavar="CSV",
                        help="load the workload from a trace CSV instead of "
                             "generating one")
@@ -817,6 +829,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the DES replay, use analytic metrics")
     p_sweep.add_argument("--arrivals", choices=("planned", "streaming"),
                          default="planned")
+    p_sweep.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
+                         default="auto", dest="kernel_backend",
+                         help="streaming event-loop implementation")
     p_sweep.add_argument("--manifest-out", metavar="JSON",
                          help="write the aggregated sweep manifest here")
     p_sweep.add_argument("--baseline-out", metavar="JSON",

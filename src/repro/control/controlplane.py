@@ -184,7 +184,7 @@ class ControlPlane:
             scheduler=self.scheduler.name,
             hist=obs.metrics.histogram("ctrl.plan_s"),
         ):
-            plan = self.scheduler.schedule(instance)
+            plan = self.scheduler.plan(instance)
 
         # Ship sequences to executors; collect acks.
         acks: list[SequenceAck] = []
@@ -440,7 +440,7 @@ class ControlPlane:
             scheduler=self.scheduler.name,
             hist=obs.metrics.histogram("ctrl.plan_s"),
         ):
-            plan = self.scheduler.schedule(instance)
+            plan = self.scheduler.plan(instance)
 
         # Failure-free reference run (reliable wire) for degradation
         # metrics. Muted: it is a counterfactual, and its spans would

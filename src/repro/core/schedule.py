@@ -53,6 +53,10 @@ class Schedule:
 
     instance: ProblemInstance
     assignments: dict[TaskRef, TaskAssignment] = field(default_factory=dict)
+    #: Private slot for the array kernel's canonical-array rendering of a
+    #: *complete* plan (``repro.kernel.array``); keyed on ``len(self)`` for
+    #: validity, never part of equality or repr.
+    _array_cache: object = field(default=None, repr=False, compare=False)
 
     def add(self, assignment: TaskAssignment) -> None:
         if assignment.task in self.assignments:

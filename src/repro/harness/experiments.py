@@ -150,7 +150,7 @@ def run_comparison(
             track="harness",
             hist=obs.metrics.histogram("harness.plan_s"),
         ):
-            plan = scheduler.schedule(instance)
+            plan = scheduler.plan(instance)
         if validate:
             validate_schedule(plan)
         with obs.tracer.timed(

@@ -13,6 +13,7 @@ kernel-driven policy realizes exactly the metrics of its offline
 counterpart — the kernel changes architecture, not semantics.
 """
 
+from .array import ArraySchedulingKernel
 from .events import Event, EventQueue, KernelEventType
 from .policies import GangPolicy, PlannedPolicy, Policy, gang_commitment
 from .residual import (
@@ -20,14 +21,23 @@ from .residual import (
     ResidualPlanner,
     build_residual_instance,
 )
-from .runner import KernelResult, SchedulingKernel, run_policy
+from .runner import (
+    ARRAY_KERNEL_TASK_LIMIT,
+    KERNEL_BACKENDS,
+    KernelResult,
+    SchedulingKernel,
+    run_policy,
+)
 from .state import KERNEL_EPS, Commitment, KernelState
 
 __all__ = [
+    "ARRAY_KERNEL_TASK_LIMIT",
+    "ArraySchedulingKernel",
     "Commitment",
     "Event",
     "EventQueue",
     "GangPolicy",
+    "KERNEL_BACKENDS",
     "KERNEL_EPS",
     "KERNEL_TRACK",
     "KernelEventType",

@@ -1,0 +1,778 @@
+"""Array-backed kernel event loop (DESIGN.md §15).
+
+:class:`ArraySchedulingKernel` is the vectorized sibling of the pinned
+reference loop in :mod:`repro.kernel.runner`. The semantic contract is
+**byte-identical observable behavior**: the same event counts, the same
+commitment statistics, the same committed schedule (assignment-for-
+assignment, in the same insertion order), the same instants/samples/
+counters on the obs surface, and the same error messages on the same
+inputs. Only wall-clock time differs.
+
+Where the time goes, and how this backend wins it back:
+
+* **Flat commit log instead of dict-of-objects.** Committed assignments
+  live in parallel numpy arrays (job/round/slot/gpu as int64,
+  start/train/sync/compute-end/end as float64, plus an ``alive`` mask
+  for crash retraction). A round commits as one vectorized append +
+  ``np.maximum.at`` frontier update instead of ``sync_scale`` Python
+  object constructions. The :class:`~repro.core.schedule.Schedule` is
+  materialized lazily — only when somebody reads
+  ``KernelResult.schedule``.
+* **Tuple heap + bulk passive skip.** Events are plain
+  ``(time, type, seq, a, b)`` tuples on a :mod:`heapq` heap (same
+  ``(time, type, insertion)`` tie-break as
+  :class:`repro.sim.events.EventQueue`). When observability is fully
+  disabled the loop asks the policy which event types it provably
+  ignores (:meth:`repro.kernel.policies.Policy.passive_events`) and
+  drains whole stretches of ``GPU_FREE``/``ROUND_BARRIER_OPEN`` wake-ups
+  without ever invoking the policy — the dominant cost of the reference
+  loop at scale. Skipped events still count toward ``events`` and the
+  event budget exactly as if processed one by one.
+* **Dispatch fast paths.** Unmodified :class:`PlannedPolicy` and
+  :class:`GangPolicy` policies are recognized by method identity and
+  driven through vectorized commit routines (plan rows are converted to
+  canonical arrays once and cached on the plan). Everything else — the
+  online re-planning Hare included — runs through a generic per-event
+  path that mirrors the reference loop call-for-call.
+
+Equivalence subtleties worth knowing before editing:
+
+* A passive event at the same timestamp as a non-passive one belongs to
+  that event's *batch*; the skip loop carries such events forward
+  instead of finalizing them (tie-break fidelity — see the property
+  tests).
+* Every value that escapes the kernel (instant args, ``ready_at``,
+  materialized assignments, metrics) is converted back to built-in
+  ``float``/``int`` — ``np.float64`` would change JSON output bytes.
+* The crash-retraction order (jobs ascending, suffix rounds deactivated,
+  φ rebuilt from survivors) matches the reference loop exactly; the
+  retracted rows stay in the log as dead rows so later re-commits append
+  at the end, reproducing the reference dict's insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ..core.errors import InfeasibleProblemError, SimulationError
+from ..core.job import ProblemInstance
+from ..core.metrics import metrics_from_completions
+from ..core.schedule import Schedule, TaskAssignment
+from ..core.types import TaskRef
+from ..obs import Category, current as obs_current
+from .events import Event, KernelEventType
+from .policies import GangPolicy, PlannedPolicy, Policy
+from .residual import KERNEL_TRACK
+from .runner import KernelResult
+from .state import KERNEL_EPS, Commitment, KernelState
+
+__all__ = ["ArraySchedulingKernel"]
+
+_BARRIER = int(KernelEventType.ROUND_BARRIER_OPEN)
+_ARRIVED = int(KernelEventType.JOB_ARRIVED)
+_FREE = int(KernelEventType.GPU_FREE)
+_CRASHED = int(KernelEventType.GPU_CRASHED)
+_RESTORED = int(KernelEventType.GPU_RESTORED)
+_TIMER = int(KernelEventType.REPLAN_TIMER)
+
+_TYPE_NAMES = {int(t): t.name for t in KernelEventType}
+_TYPE_ENUMS = {int(t): t for t in KernelEventType}
+
+
+class _CommitLog:
+    """Append-only committed-assignment columns with an alive mask."""
+
+    __slots__ = (
+        "n", "job", "rnd", "slot", "gpu",
+        "start", "train", "sync", "ce", "end", "alive",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        cap = max(capacity, 64)
+        self.n = 0
+        self.job = np.empty(cap, dtype=np.int64)
+        self.rnd = np.empty(cap, dtype=np.int64)
+        self.slot = np.empty(cap, dtype=np.int64)
+        self.gpu = np.empty(cap, dtype=np.int64)
+        self.start = np.empty(cap, dtype=np.float64)
+        self.train = np.empty(cap, dtype=np.float64)
+        self.sync = np.empty(cap, dtype=np.float64)
+        self.ce = np.empty(cap, dtype=np.float64)
+        self.end = np.empty(cap, dtype=np.float64)
+        self.alive = np.empty(cap, dtype=bool)
+
+    def _grow(self, need: int) -> None:
+        cap = len(self.job)
+        new = max(2 * cap, self.n + need)
+        for name in (
+            "job", "rnd", "slot", "gpu",
+            "start", "train", "sync", "ce", "end", "alive",
+        ):
+            old = getattr(self, name)
+            arr = np.empty(new, dtype=old.dtype)
+            arr[: self.n] = old[: self.n]
+            setattr(self, name, arr)
+
+    def append(self, job, rnd, slot, gpu, start, train, sync, ce, end):
+        k = len(gpu)
+        if self.n + k > len(self.job):
+            self._grow(k)
+        lo, hi = self.n, self.n + k
+        self.job[lo:hi] = job
+        self.rnd[lo:hi] = rnd
+        self.slot[lo:hi] = slot
+        self.gpu[lo:hi] = gpu
+        self.start[lo:hi] = start
+        self.train[lo:hi] = train
+        self.sync[lo:hi] = sync
+        self.ce[lo:hi] = ce
+        self.end[lo:hi] = end
+        self.alive[lo:hi] = True
+        self.n = hi
+
+
+def _plan_arrays(plan: Schedule, instance: ProblemInstance):
+    """Canonical (gpu, start, train, sync) rows in ``all_tasks()`` order.
+
+    Cached on the plan (``Schedule._array_cache``) keyed by its length so
+    repeated runs of the same frozen plan skip the conversion.
+    """
+    cache = plan._array_cache
+    if cache is not None and cache[0] == len(plan.assignments):
+        return cache[1]
+    assignments = plan.assignments
+    rows = [assignments[t] for t in instance.all_tasks()]
+    n = len(rows)
+    arrays = (
+        np.fromiter((a.gpu for a in rows), np.int64, count=n),
+        np.fromiter((a.start for a in rows), np.float64, count=n),
+        np.fromiter((a.train_time for a in rows), np.float64, count=n),
+        np.fromiter((a.sync_time for a in rows), np.float64, count=n),
+    )
+    plan._array_cache = (len(assignments), arrays)
+    return arrays
+
+
+class ArraySchedulingKernel:
+    """Vectorized event loop; drop-in for :class:`SchedulingKernel`.
+
+    Same constructor, same :meth:`run` result, same remediation hooks
+    (:meth:`request_replan`, advisory ``weight_boost``/``quarantined``
+    aliasing through :class:`~repro.kernel.state.KernelState`). The
+    only intentional difference from the reference loop is that
+    ``state.phi`` is a numpy array and ``state.committed`` stays empty —
+    the committed schedule lives in the flat log until materialized.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        policy: Policy,
+        *,
+        crashes: list[tuple[float, int]] | None = None,
+        restores: list[tuple[float, int]] | None = None,
+        replan_interval: float | None = None,
+        max_events: int | None = None,
+        heal=None,
+    ) -> None:
+        self.instance = instance
+        self.policy = policy
+        self.state = KernelState(instance)
+        self.state.phi = np.zeros(instance.num_gpus, dtype=np.float64)
+        self.replan_interval = replan_interval
+        self.heal = heal
+        if heal is not None and hasattr(heal, "attach_kernel"):
+            heal.attach_kernel(self)
+        self.processed = 0
+        self.commitments = 0
+        self.retracted_rounds = 0
+        self._pending_faults = 0
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, int, int]] = []
+        self._seq = itertools.count()
+        self._alive_mask = np.ones(instance.num_gpus, dtype=bool)
+        self._log = _CommitLog(instance.num_tasks)
+        total_tasks = instance.num_tasks
+        self.max_events = (
+            max_events
+            if max_events is not None
+            else 64 + 16 * (
+                total_tasks + instance.num_jobs + instance.num_gpus
+                + len(crashes or []) + len(restores or [])
+            )
+        )
+        # Seed events in the reference constructor's push order so the
+        # insertion-sequence tie-break matches event for event.
+        for job in instance.jobs:
+            self._push(job.arrival, _ARRIVED, job.job_id, 0)
+        for time, gpu in crashes or []:
+            self._push(time, _CRASHED, gpu, 0)
+            self._pending_faults += 1
+        for time, gpu in restores or []:
+            self._push(time, _RESTORED, gpu, 0)
+            self._pending_faults += 1
+        if replan_interval is not None:
+            if replan_interval <= 0:
+                raise SimulationError("replan_interval must be positive")
+            self._push(replan_interval, _TIMER, 0, 0)
+
+    # -- event helpers --------------------------------------------------
+    def _push(self, time: float, type_: int, a: int, b: int) -> None:
+        time = float(time)
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"event at {time} pushed when clock is {self._now}"
+            )
+        heapq.heappush(
+            self._heap, (time, type_, next(self._seq), a, b)
+        )
+
+    def _wake(self, time: float, type_: int, a: int, b: int) -> None:
+        """Push a follow-up event, clamped to the current clock."""
+        time = float(time)
+        self._push(time if time > self._now else self._now, type_, a, b)
+
+    def request_replan(self, time: float | None = None) -> bool:
+        """External re-plan hook (the remediation ``force_replan`` action)."""
+        if self.state.complete():
+            return False
+        # a=1 encodes the "forced" payload: a one-shot wake-up outside
+        # the periodic timer chain (see _apply_event).
+        self._wake(
+            self._now if time is None else time, _TIMER, 1, 0
+        )
+        return True
+
+    @staticmethod
+    def _payload(type_: int, a: int, b: int):
+        if type_ == _BARRIER:
+            return (a, b)
+        if type_ == _TIMER:
+            return None if a == 0 else "forced"
+        return a
+
+    @staticmethod
+    def _instant_args(type_: int, a: int, b: int) -> dict:
+        if type_ == _ARRIVED:
+            return {"job": a}
+        if type_ in (_CRASHED, _RESTORED, _FREE):
+            return {"gpu": a}
+        if type_ == _BARRIER:
+            return {"job": a, "round": b}
+        return {}
+
+    # -- event application ----------------------------------------------
+    def _apply_event(self, type_: int, a: int, time: float) -> None:
+        state = self.state
+        state.now = self._now
+        if type_ == _ARRIVED:
+            state.arrived.add(a)
+            state.pending_arrivals.remove(self.instance.jobs[a].arrival)
+        elif type_ == _CRASHED:
+            self._pending_faults -= 1
+            self._apply_crash(a, time)
+        elif type_ == _RESTORED:
+            self._pending_faults -= 1
+            state.alive.add(a)
+            self._alive_mask[a] = True
+            if state.phi[a] < state.now:
+                state.phi[a] = state.now
+        elif type_ == _TIMER:
+            if (
+                a == 0
+                and self.replan_interval is not None
+                and not state.complete()
+            ):
+                self._push(
+                    self._now + self.replan_interval, _TIMER, 0, 0
+                )
+        # ROUND_BARRIER_OPEN / GPU_FREE are pure wake-ups.
+
+    def _apply_crash(self, gpu: int, t: float) -> None:
+        state = self.state
+        state.alive.discard(gpu)
+        self._alive_mask[gpu] = False
+        log = self._log
+        n = log.n
+        lj = log.job[:n]
+        lr = log.rnd[:n]
+        lal = log.alive[:n]
+        hit = lal & (log.gpu[:n] == gpu) & (log.ce[:n] > t + KERNEL_EPS)
+        if hit.any():
+            for job_id in np.unique(lj[hit]).tolist():
+                job = self.instance.jobs[job_id]
+                done = state.rounds_done[job_id]
+                cut = int(lr[hit & (lj == job_id)].min())
+                lal[lal & (lj == job_id) & (lr >= cut)] = False
+                self.retracted_rounds += done - cut
+                state.rounds_done[job_id] = cut
+                if cut > 0:
+                    barrier_rows = lal & (lj == job_id) & (lr == cut - 1)
+                    last_barrier = float(log.end[:n][barrier_rows].max())
+                else:
+                    last_barrier = job.arrival
+                state.ready_at[job_id] = max(t, last_barrier)
+                obs_current().tracer.instant(
+                    Category.SCHED,
+                    "kernel.retract",
+                    track=KERNEL_TRACK,
+                    time=t,
+                    job=job_id,
+                    rounds_done=cut,
+                    gpu=gpu,
+                )
+        phi = np.zeros(self.instance.num_gpus, dtype=np.float64)
+        survivors = log.alive[:n]
+        np.maximum.at(phi, log.gpu[:n][survivors], log.ce[:n][survivors])
+        state.phi = phi
+        obs_current().metrics.counter("kernel.retractions").inc()
+
+    # -- commitment application -----------------------------------------
+    def _finish_commitment(self, phi_before, horizon, touched_jobs):
+        """Shared tail: free wake-ups, instants, counters (reference order)."""
+        state = self.state
+        obs = obs_current()
+        phi = state.phi
+        for m in np.flatnonzero(phi > phi_before + KERNEL_EPS).tolist():
+            self._wake(phi[m], _FREE, m, 0)
+        for job_id in sorted(touched_jobs):
+            obs.tracer.instant(
+                Category.SCHED,
+                "kernel.commit",
+                track=KERNEL_TRACK,
+                time=state.now,
+                job=job_id,
+                rounds_done=state.rounds_done[job_id],
+            )
+        self.commitments += 1
+        obs.metrics.counter("kernel.commitments").inc()
+        obs.metrics.histogram("kernel.commit_horizon_s").observe(
+            max(0.0, horizon - state.now)
+        )
+
+    def _apply_commitment(self, commitment: Commitment) -> None:
+        """Generic path: mirrors the reference loop, appends to the log."""
+        state = self.state
+        state.check_commitment(commitment)
+        assignments = commitment.assignments
+        n = len(assignments)
+        gpus = np.fromiter((a.gpu for a in assignments), np.int64, count=n)
+        bad = ~self._alive_mask[gpus]
+        if bad.any():
+            a = assignments[int(np.argmax(bad))]
+            raise SimulationError(
+                f"commitment places {a.task} on dead GPU {a.gpu}"
+            )
+        jobc = np.fromiter(
+            (a.task.job_id for a in assignments), np.int64, count=n
+        )
+        rndc = np.fromiter(
+            (a.task.round_idx for a in assignments), np.int64, count=n
+        )
+        slotc = np.fromiter(
+            (a.task.slot for a in assignments), np.int64, count=n
+        )
+        startc = np.fromiter(
+            (a.start for a in assignments), np.float64, count=n
+        )
+        trainc = np.fromiter(
+            (a.train_time for a in assignments), np.float64, count=n
+        )
+        syncc = np.fromiter(
+            (a.sync_time for a in assignments), np.float64, count=n
+        )
+        cec = startc + trainc
+        endc = cec + syncc
+        self._log.append(
+            jobc, rndc, slotc, gpus, startc, trainc, syncc, cec, endc
+        )
+        phi = state.phi
+        phi_before = phi.copy()
+        np.maximum.at(phi, gpus, cec)
+        horizon = float(endc.max()) if n else 0.0
+        # Insertion order of the touched-jobs set matches the reference
+        # (it iterates this set before sorting for the commit instants).
+        touched_jobs: set[int] = set()
+        for a in assignments:
+            touched_jobs.add(a.task.job_id)
+        for job_id in touched_jobs:
+            job = self.instance.jobs[job_id]
+            jm = jobc == job_id
+            rounds = sorted(set(rndc[jm].tolist()))
+            state.rounds_done[job_id] += len(rounds)
+            last = rounds[-1]
+            barrier = float(endc[jm & (rndc == last)].max())
+            state.ready_at[job_id] = barrier
+            if state.rounds_done[job_id] < job.num_rounds:
+                self._wake(barrier, _BARRIER, job_id, last)
+        if commitment.gpu_release is not None:
+            for m, release in commitment.gpu_release.items():
+                if phi[m] < release:
+                    phi[m] = release
+        self._finish_commitment(phi_before, horizon, touched_jobs)
+
+    # -- planned fast path ----------------------------------------------
+    def _detect_fast_path(self) -> str | None:
+        cls = type(self.policy)
+        if (
+            isinstance(self.policy, PlannedPolicy)
+            and cls.on_event is PlannedPolicy.on_event
+            and cls.setup is PlannedPolicy.setup
+            and cls._round_commitment is PlannedPolicy._round_commitment
+        ):
+            return "planned"
+        if (
+            isinstance(self.policy, GangPolicy)
+            and cls.on_event is GangPolicy.on_event
+        ):
+            return "gang"
+        return None
+
+    def _prepare_planned(self) -> None:
+        instance = self.instance
+        plan = self.policy._plan
+        assert plan is not None
+        self._plan_gpu, self._plan_start, self._plan_train, \
+            self._plan_sync = _plan_arrays(plan, instance)
+        task_off = [0]
+        round_off = [0]
+        for job in instance.jobs:
+            task_off.append(task_off[-1] + job.num_tasks)
+            round_off.append(round_off[-1] + job.num_rounds)
+        self._task_off = task_off
+        self._round_off = round_off
+        # Mirrors PlannedPolicy._emitted (needed for crash-timing
+        # fidelity: a retracted round is NOT re-emitted by the planned
+        # policy, and neither is it here).
+        self._round_emitted = np.zeros(round_off[-1], dtype=bool)
+
+    def _planned_commit(self, job_id: int, round_idx: int) -> None:
+        job = self.instance.jobs[job_id]
+        if round_idx >= job.num_rounds:
+            return
+        key = self._round_off[job_id] + round_idx
+        if self._round_emitted[key]:
+            return
+        self._round_emitted[key] = True
+        state = self.state
+        done = state.rounds_done[job_id]
+        if round_idx != done:
+            raise SimulationError(
+                f"job {job_id} commitment rounds {[round_idx]} do not "
+                f"extend the committed prefix ({done} done)"
+            )
+        scale = job.sync_scale
+        lo = self._task_off[job_id] + round_idx * scale
+        hi = lo + scale
+        gpus = self._plan_gpu[lo:hi]
+        if len(state.alive) < self.instance.num_gpus:
+            bad = ~self._alive_mask[gpus]
+            if bad.any():
+                i = int(np.argmax(bad))
+                raise SimulationError(
+                    f"commitment places {TaskRef(job_id, round_idx, i)} "
+                    f"on dead GPU {int(gpus[i])}"
+                )
+        start = self._plan_start[lo:hi]
+        train = self._plan_train[lo:hi]
+        sync = self._plan_sync[lo:hi]
+        ce = start + train
+        end = ce + sync
+        self._log.append(
+            job_id, round_idx, np.arange(scale, dtype=np.int64),
+            gpus, start, train, sync, ce, end,
+        )
+        phi = state.phi
+        phi_before = phi.copy()
+        np.maximum.at(phi, gpus, ce)
+        horizon = float(end.max())
+        state.rounds_done[job_id] = done + 1
+        state.ready_at[job_id] = horizon
+        if done + 1 < job.num_rounds:
+            self._wake(horizon, _BARRIER, job_id, round_idx)
+        self._finish_commitment(phi_before, horizon, {job_id})
+
+    # -- gang fast path --------------------------------------------------
+    def _gang_commit(self, job_id: int, gpus, start: float) -> None:
+        instance = self.instance
+        state = self.state
+        job = instance.jobs[job_id]
+        scale = job.sync_scale
+        if len(gpus) != scale:
+            raise InfeasibleProblemError(
+                f"job {job_id} with scale {scale} given {len(gpus)} GPUs"
+            )
+        done = state.rounds_done[job_id]
+        num_rounds = job.num_rounds
+        if done != 0:
+            rounds = list(range(num_rounds))
+            raise SimulationError(
+                f"job {job_id} commitment rounds {rounds} do not extend "
+                f"the committed prefix ({done} done)"
+            )
+        garr = np.asarray(gpus, dtype=np.int64)
+        bad = ~self._alive_mask[garr]
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise SimulationError(
+                f"commitment places {TaskRef(job_id, 0, i)} on dead "
+                f"GPU {int(garr[i])}"
+            )
+        tc_g = instance.train_time[job_id, garr]
+        ts_g = instance.sync_time[job_id, garr]
+        round_time = float((tc_g + ts_g).max())
+        starts = np.empty(num_rounds + 1, dtype=np.float64)
+        t = float(start)
+        # Sequential accumulation on purpose: bitwise-equal to the
+        # reference gang_commitment's ``t += round_time`` walk.
+        for r in range(num_rounds):
+            starts[r] = t
+            t += round_time
+        starts[num_rounds] = t
+        start_col = np.repeat(starts[:num_rounds], scale)
+        gpu_col = np.tile(garr, num_rounds)
+        train_col = np.tile(tc_g, num_rounds)
+        sync_col = np.tile(ts_g, num_rounds)
+        ce_col = start_col + train_col
+        end_col = ce_col + sync_col
+        self._log.append(
+            np.repeat(np.int64(job_id), num_rounds * scale),
+            np.repeat(
+                np.arange(num_rounds, dtype=np.int64), scale
+            ),
+            np.tile(np.arange(scale, dtype=np.int64), num_rounds),
+            gpu_col, start_col, train_col, sync_col, ce_col, end_col,
+        )
+        phi = state.phi
+        phi_before = phi.copy()
+        np.maximum.at(phi, gpu_col, ce_col)
+        # Gang hold: every GPU stays busy until job completion.
+        np.maximum.at(phi, garr, np.full(scale, t))
+        horizon = float(end_col.max())
+        state.rounds_done[job_id] = num_rounds
+        state.ready_at[job_id] = float(end_col[-scale:].max())
+        # All rounds committed: no barrier wake-up (matches reference).
+        self._finish_commitment(phi_before, horizon, {job_id})
+
+    # -- bulk passive skip -----------------------------------------------
+    def _bulk_skip(self, passive) -> list:
+        """Drain leading passive events without invoking the policy.
+
+        Returns the *carry*: popped passive events sharing a timestamp
+        with the next non-passive event, which therefore belong to that
+        event's batch (same-time tie-break fidelity).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        skipped: list = []
+        while heap and heap[0][1] in passive:
+            skipped.append(pop(heap))
+        carry: list = []
+        if skipped and heap and skipped[-1][0] == heap[0][0]:
+            t_edge = heap[0][0]
+            k = len(skipped)
+            while k > 0 and skipped[k - 1][0] == t_edge:
+                k -= 1
+            carry = skipped[k:]
+            skipped = skipped[:k]
+        if skipped:
+            self.processed += len(skipped)
+            if self.processed > self.max_events:
+                raise SimulationError(
+                    f"kernel event budget {self.max_events} exceeded; "
+                    "likely policy livelock"
+                )
+            last_t = skipped[-1][0]
+            if last_t > self._now:
+                self._now = last_t
+            self.state.now = self._now
+        return carry
+
+    # -- the loop --------------------------------------------------------
+    def run(self) -> KernelResult:
+        obs = obs_current()
+        tracer = obs.tracer
+        metrics = obs.metrics
+        state = self.state
+        instance = self.instance
+        policy = self.policy
+        policy.setup(state)
+        fast = self._detect_fast_path()
+        if fast == "planned":
+            self._prepare_planned()
+        invoke_cap = 4 * instance.num_jobs + 16
+        replans_seen = int(getattr(policy, "replans", 0))
+        heap = self._heap
+        pop = heapq.heappop
+        # Bulk skipping changes no observable state, but it elides the
+        # per-event instants and per-batch samples — only legal when
+        # nothing records them.
+        may_skip = not obs.enabled
+        carry: list = []
+        while heap or carry:
+            if state.complete() and self._pending_faults == 0:
+                break
+            if may_skip and not carry:
+                passive = policy.passive_events(state)
+                if passive:
+                    carry = self._bulk_skip(passive)
+                    if not heap and not carry:
+                        break
+            if carry:
+                batch = carry
+                carry = []
+                t = batch[0][0]
+            else:
+                first = pop(heap)
+                batch = [first]
+                t = first[0]
+            if t > self._now:
+                self._now = t
+            while heap and heap[0][0] == t:
+                batch.append(pop(heap))
+            for time_, type_, _seq, a, b in batch:
+                self.processed += 1
+                if self.processed > self.max_events:
+                    raise SimulationError(
+                        f"kernel event budget {self.max_events} exceeded; "
+                        "likely policy livelock"
+                    )
+                if tracer.enabled:
+                    tracer.instant(
+                        Category.SIM,
+                        _TYPE_NAMES[type_],
+                        track=KERNEL_TRACK,
+                        time=time_,
+                        **self._instant_args(type_, a, b),
+                    )
+                self._apply_event(type_, a, time_)
+            if fast == "planned":
+                for _time, type_, _seq, a, b in batch:
+                    if type_ == _ARRIVED:
+                        self._planned_commit(a, 0)
+                    elif type_ == _BARRIER:
+                        self._planned_commit(a, b + 1)
+            elif fast == "gang":
+                # One fixed point per batch: the reference loop's extra
+                # per-event invocations hit an unchanged state and
+                # provably return None (GangPolicy.select contract).
+                for _ in range(invoke_cap):
+                    runnable = state.unstarted()
+                    if not runnable:
+                        break
+                    decision = policy.select(
+                        state, runnable, state.free_gpus()
+                    )
+                    if decision is None:
+                        break
+                    job_id, gpus = decision
+                    self._gang_commit(
+                        job_id,
+                        gpus,
+                        max(state.now, instance.jobs[job_id].arrival),
+                    )
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"policy {policy.name!r} did not reach a "
+                        f"fixed point at t={state.now}"
+                    )
+            else:
+                for time_, type_, _seq, a, b in batch:
+                    event = Event(
+                        time_, _TYPE_ENUMS[type_], self._payload(type_, a, b)
+                    )
+                    for _ in range(invoke_cap):
+                        commitments = policy.on_event(event, state)
+                        if not commitments:
+                            break
+                        for commitment in commitments:
+                            self._apply_commitment(commitment)
+                    else:  # pragma: no cover - defensive
+                        raise SimulationError(
+                            f"policy {policy.name!r} did not reach a "
+                            f"fixed point at t={state.now}"
+                        )
+                    replans_now = int(getattr(policy, "replans", 0))
+                    if replans_now > replans_seen:
+                        tracer.instant(
+                            Category.SCHED,
+                            "kernel.replan",
+                            track=KERNEL_TRACK,
+                            time=state.now,
+                            pass_idx=replans_now,
+                        )
+                        replans_seen = replans_now
+            metrics.gauge("kernel.queue_depth").set(len(heap))
+            metrics.sample("kernel.queue_depth", t)
+            metrics.sample("kernel.commitments", t)
+        if not state.complete():
+            raise InfeasibleProblemError(
+                "kernel drained its queue with rounds still uncommitted; "
+                "check the policy"
+            )
+        metrics.counter("kernel.events").inc(self.processed)
+        return KernelResult(
+            schedule_factory=self._materialize,
+            metrics=self._metrics(),
+            events=self.processed,
+            commitments=self.commitments,
+            replans=int(getattr(policy, "replans", 0)),
+            retracted_rounds=self.retracted_rounds,
+        )
+
+    # -- results ----------------------------------------------------------
+    def _materialize(self) -> Schedule:
+        """The committed schedule, rebuilt from the log.
+
+        Row order (append order, dead rows skipped) reproduces the
+        reference dict's insertion order, so downstream consumers that
+        iterate assignments see identical sequences.
+        """
+        log = self._log
+        n = log.n
+        idx = np.flatnonzero(log.alive[:n])
+        sched = Schedule(self.instance)
+        assignments = sched.assignments
+        for j, r, s, g, st, tr, sy in zip(
+            log.job[idx].tolist(),
+            log.rnd[idx].tolist(),
+            log.slot[idx].tolist(),
+            log.gpu[idx].tolist(),
+            log.start[idx].tolist(),
+            log.train[idx].tolist(),
+            log.sync[idx].tolist(),
+        ):
+            task = TaskRef(j, r, s)
+            assignments[task] = TaskAssignment(
+                task=task, gpu=g, start=st, train_time=tr, sync_time=sy
+            )
+        return sched
+
+    def _metrics(self):
+        """Metrics straight from the log (no Schedule materialization)."""
+        instance = self.instance
+        log = self._log
+        n = log.n
+        alive = log.alive[:n]
+        lj = log.job[:n][alive]
+        lr = log.rnd[:n][alive]
+        lend = log.end[:n][alive]
+        last_round = np.fromiter(
+            (j.num_rounds - 1 for j in instance.jobs),
+            np.int64,
+            count=instance.num_jobs,
+        )
+        comp = np.full(instance.num_jobs, -np.inf)
+        if lend.size:
+            final = lr == last_round[lj]
+            np.maximum.at(comp, lj[final], lend[final])
+        completions = {
+            j.job_id: float(comp[j.job_id]) for j in instance.jobs
+        }
+        makespan = float(lend.max()) if lend.size else 0.0
+        return metrics_from_completions(
+            instance.jobs, completions, makespan=makespan
+        )

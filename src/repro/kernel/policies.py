@@ -70,6 +70,23 @@ class Policy(ABC):
         """
         return False
 
+    def passive_events(
+        self, state: KernelState
+    ) -> frozenset[KernelEventType]:
+        """Event types this policy provably ignores *in the current state*.
+
+        The array kernel backend bulk-skips whole batches made of passive
+        events instead of invoking the policy per event. Declaring a type
+        passive is a contract: until the next non-passive event is
+        processed, (a) applying an event of that type mutates no kernel
+        state (only the pure wake-ups ``ROUND_BARRIER_OPEN`` / ``GPU_FREE``
+        qualify) and (b) :meth:`on_event` would return ``[]`` with no side
+        effects. Both conditions must be stable across the skipped
+        stretch — they may only depend on state that non-passive events
+        change. The default claims nothing, which is always safe.
+        """
+        return frozenset()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -121,6 +138,12 @@ class PlannedPolicy(Policy):
             return self._round_commitment(state, job_id, round_idx + 1)
         return []
 
+    def passive_events(
+        self, state: KernelState
+    ) -> frozenset[KernelEventType]:
+        """GPU frees never move a clairvoyant plan (absolute start times)."""
+        return frozenset({KernelEventType.GPU_FREE})
+
 
 class GangPolicy(Policy):
     """Gang execution: exclusive GPUs for a job's whole lifetime.
@@ -146,7 +169,14 @@ class GangPolicy(Policy):
     def select(
         self, state: KernelState, runnable: list[int], free: list[int]
     ) -> tuple[int, list[int]] | None:
-        """Pick (job_id, gpus) to start now, or ``None`` to wait."""
+        """Pick (job_id, gpus) to start now, or ``None`` to wait.
+
+        Must be a **pure function of its arguments**: no mutation, and a
+        ``None`` return must stay ``None`` until the state changes. The
+        array backend relies on this to run one fixed point per event
+        *batch* instead of one per event — with a stateful ``select``
+        the two loops could diverge.
+        """
 
     def on_event(
         self, event: Event, state: KernelState
@@ -162,6 +192,21 @@ class GangPolicy(Policy):
         job = state.instance.jobs[job_id]
         start = max(state.now, job.arrival)
         return [gang_commitment(state, job_id, gpus, start)]
+
+    def passive_events(
+        self, state: KernelState
+    ) -> frozenset[KernelEventType]:
+        """With no waiting job, wake-ups cannot start anything.
+
+        ``unstarted()`` only grows on ``JOB_ARRIVED`` (or crash
+        retraction) — never passive types — so the claim is stable
+        across a skipped stretch.
+        """
+        if state.unstarted():
+            return frozenset()
+        return frozenset(
+            {KernelEventType.ROUND_BARRIER_OPEN, KernelEventType.GPU_FREE}
+        )
 
 
 def gang_commitment(

@@ -233,7 +233,7 @@ class ResidualPlanner:
             tasks=residual.num_tasks,
             hist=obs.metrics.histogram("kernel.residual_solve_s"),
         ):
-            plan = scheduler.schedule(residual)
+            plan = scheduler.plan(residual)
         obs.metrics.counter("kernel.replans").inc()
         return plan
 

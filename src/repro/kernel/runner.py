@@ -31,9 +31,7 @@ each commitment reaches), and per-event instants on the ``kernel`` track.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..core.errors import InfeasibleProblemError, SimulationError
+from ..core.errors import ConfigurationError, InfeasibleProblemError, SimulationError
 from ..core.metrics import ScheduleMetrics, metrics_from_schedule
 from ..core.schedule import Schedule
 from ..core.job import ProblemInstance
@@ -44,20 +42,84 @@ from .residual import KERNEL_TRACK
 from .state import KERNEL_EPS, Commitment, KernelState
 
 
-@dataclass(frozen=True, slots=True)
 class KernelResult:
-    """Outcome of one kernel run."""
+    """Outcome of one kernel run.
 
-    schedule: Schedule
-    metrics: ScheduleMetrics
-    #: Events processed (arrivals, barriers, frees, faults, timers).
-    events: int
-    #: Commitments applied.
-    commitments: int
-    #: Re-planning passes the policy reported (0 for non-replanning ones).
-    replans: int
-    #: Rounds retracted by GPU crashes.
-    retracted_rounds: int
+    The committed :attr:`schedule` may be materialized lazily: the array
+    backend hands a ``schedule_factory`` so large runs only pay the
+    per-task :class:`~repro.core.schedule.TaskAssignment` construction
+    when somebody actually reads the schedule. The statistics
+    (``events``/``commitments``/``replans``/``retracted_rounds``) are
+    plain ints, byte-comparable across backends.
+    """
+
+    __slots__ = (
+        "_schedule",
+        "_schedule_factory",
+        "metrics",
+        "events",
+        "commitments",
+        "replans",
+        "retracted_rounds",
+    )
+
+    def __init__(
+        self,
+        *,
+        schedule: Schedule | None = None,
+        schedule_factory=None,
+        metrics: ScheduleMetrics,
+        events: int,
+        commitments: int,
+        replans: int,
+        retracted_rounds: int,
+    ) -> None:
+        if schedule is None and schedule_factory is None:
+            raise ValueError(
+                "KernelResult needs a schedule or a schedule_factory"
+            )
+        self._schedule = schedule
+        self._schedule_factory = schedule_factory
+        self.metrics = metrics
+        self.events = events
+        self.commitments = commitments
+        self.replans = replans
+        self.retracted_rounds = retracted_rounds
+
+    @property
+    def schedule(self) -> Schedule:
+        """The committed schedule (materialized on first access)."""
+        if self._schedule is None:
+            self._schedule = self._schedule_factory()
+            self._schedule_factory = None
+        return self._schedule
+
+    def __getstate__(self):
+        # Factories close over kernel arrays; materialize for pickling.
+        return {
+            "schedule": self.schedule,
+            "metrics": self.metrics,
+            "events": self.events,
+            "commitments": self.commitments,
+            "replans": self.replans,
+            "retracted_rounds": self.retracted_rounds,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._schedule = state["schedule"]
+        self._schedule_factory = None
+        self.metrics = state["metrics"]
+        self.events = state["events"]
+        self.commitments = state["commitments"]
+        self.replans = state["replans"]
+        self.retracted_rounds = state["retracted_rounds"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelResult(events={self.events}, "
+            f"commitments={self.commitments}, replans={self.replans}, "
+            f"retracted_rounds={self.retracted_rounds})"
+        )
 
 
 def _event_args(event: Event) -> dict:
@@ -77,7 +139,14 @@ def _event_args(event: Event) -> dict:
 
 
 class SchedulingKernel:
-    """Event loop binding one policy to one problem instance."""
+    """Event loop binding one policy to one problem instance.
+
+    This is the pinned **reference** backend: every observable behavior
+    (batch formation, tie-breaks, instants, samples, counters, error
+    messages) is the contract the array backend
+    (:class:`repro.kernel.array.ArraySchedulingKernel`) must reproduce
+    byte-for-byte. Keep it simple rather than fast.
+    """
 
     def __init__(
         self,
@@ -382,6 +451,14 @@ class SchedulingKernel:
         )
 
 
+#: ``kernel_backend="auto"`` switches to the array backend at this task
+#: count — below it the reference loop is faster (no numpy fixed costs)
+#: and the golden traces stay pinned to the reference implementation.
+ARRAY_KERNEL_TASK_LIMIT = 2048
+
+KERNEL_BACKENDS = ("auto", "array", "reference")
+
+
 def run_policy(
     instance: ProblemInstance,
     policy: Policy,
@@ -391,14 +468,37 @@ def run_policy(
     replan_interval: float | None = None,
     max_events: int | None = None,
     heal=None,
+    kernel_backend: str = "auto",
 ) -> KernelResult:
-    """Build a :class:`SchedulingKernel` for *policy* and run it.
+    """Build a kernel for *policy* and run it.
 
     *heal* is an optional :class:`repro.heal.RemediationEngine` (duck-
     typed); it is attached to the kernel so remediation actions reach
     the policy and event queue mid-run.
+
+    *kernel_backend* selects the event-loop implementation:
+    ``"reference"`` is the pinned per-event-object loop
+    (:class:`SchedulingKernel`), ``"array"`` the vectorized batch loop
+    (:class:`repro.kernel.array.ArraySchedulingKernel`), and ``"auto"``
+    picks the array backend from :data:`ARRAY_KERNEL_TASK_LIMIT` tasks
+    upward. Both produce byte-identical results.
     """
-    return SchedulingKernel(
+    if kernel_backend not in KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel_backend {kernel_backend!r}; "
+            f"expected one of {KERNEL_BACKENDS}"
+        )
+    use_array = kernel_backend == "array" or (
+        kernel_backend == "auto"
+        and instance.num_tasks >= ARRAY_KERNEL_TASK_LIMIT
+    )
+    if use_array:
+        from .array import ArraySchedulingKernel
+
+        kernel_cls = ArraySchedulingKernel
+    else:
+        kernel_cls = SchedulingKernel
+    return kernel_cls(
         instance,
         policy,
         crashes=crashes,

@@ -327,6 +327,14 @@ BENCH_TOLERANCES: dict[str, Tolerance] = {
     "*.count": EXACT,
     "*_tasks_per_sec": THROUGHPUT_DOWN,
     "*.list_speedup_x": THROUGHPUT_DOWN,
+    # Array-kernel backend race (the array_kernel arms): event counts and
+    # committed results are deterministic (and asserted equal across
+    # backends inside the bench); the two rates and their ratio are
+    # wall-clock, so they only regress by dropping. The hard ≥10x floor
+    # on the gang_online arm lives in CI's bench-smoke gate.
+    "*.events_per_sec_reference": THROUGHPUT_DOWN,
+    "*.events_per_sec_array": THROUGHPUT_DOWN,
+    "*.kernel_speedup_x": THROUGHPUT_DOWN,
     # The self-healing arm is wall-clock-free: both runs and the engine's
     # action counts are deterministic for a fixed config+seed.
     "heal.*": EXACT,

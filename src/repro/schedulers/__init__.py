@@ -1,6 +1,5 @@
 """Schedulers: Hare's Algorithm 1 and the §7.1 comparison baselines."""
 
-from ..kernel.residual import build_residual_instance
 from .allox import SchedAlloxScheduler
 from .base import (
     HeapTimeline,
@@ -60,25 +59,6 @@ def all_schedulers() -> list[Scheduler]:
     ]
 
 
-def scheduler_by_name(name: str) -> Scheduler:
-    """Deprecated: use :func:`repro.schedulers.create` instead.
-
-    Legend names (``Hare``, ``Gavel_FIFO``, …) lowercase to the registry
-    keys, so this is a thin shim over :func:`create`. Still raises
-    :class:`KeyError` (via :class:`UnknownSchedulerError`) for unknown
-    names, as before.
-    """
-    import warnings
-
-    warnings.warn(
-        "scheduler_by_name() is deprecated; use "
-        "repro.schedulers.create(name, **kwargs) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return create(name)
-
-
 __all__ = [
     "AUTO_LP_TASK_LIMIT",
     "ExactRelaxationSolver",
@@ -103,7 +83,6 @@ __all__ = [
     "all_schedulers",
     "available",
     "brute_force_optimal",
-    "build_residual_instance",
     "check_gang_feasible",
     "create",
     "create_from_spec",
@@ -114,7 +93,6 @@ __all__ = [
     "info",
     "list_schedule",
     "register",
-    "scheduler_by_name",
     "schemes",
     "strict_gang_schedule",
 ]

@@ -56,6 +56,23 @@ class Scheduler(ABC):
 
         return PlannedPolicy(self)
 
+    def plan(self, instance: ProblemInstance) -> Schedule:
+        """A complete schedule for *instance*, offline or via the kernel.
+
+        Offline planners answer through :meth:`schedule`; natively online
+        schemes (which raise :class:`NotImplementedError` there) are
+        driven through :func:`repro.kernel.run_policy` with every arrival
+        known — the clairvoyant rendering of an event-driven policy. Use
+        this whenever "give me this scheme's schedule" should work for
+        *any* registered scheduler.
+        """
+        try:
+            return self.schedule(instance)
+        except NotImplementedError:
+            from ..kernel.runner import run_policy
+
+            return run_policy(instance, self.make_policy(instance)).schedule
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 

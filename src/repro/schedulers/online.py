@@ -23,15 +23,16 @@ clean :class:`ProblemInstance`). The result is a complete, feasible
 schedule produced without future-arrival knowledge — directly comparable
 against offline Hare to price clairvoyance.
 
-:class:`OnlineHareScheduler` remains as a thin deprecated shim driving the
-policy through the kernel, as does the old ``build_residual_instance``
-import path (it moved to :mod:`repro.kernel.residual`).
+:class:`OnlineHareScheduler` registers the policy with the scheduler
+registry; being natively online it has no offline ``schedule()`` — use
+:meth:`~repro.schedulers.base.Scheduler.plan` (which drives
+:meth:`make_policy` through the kernel) or the api's
+``arrivals="streaming"`` mode.
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 
 from ..core.errors import SolverError
@@ -39,12 +40,7 @@ from ..core.job import Job, ProblemInstance
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
 from ..kernel.events import Event, KernelEventType
-from ..kernel.residual import (
-    ResidualPlanner,
-    build_residual_instance as _build_residual_instance,
-    planner_for,
-)
-from ..kernel.runner import run_policy
+from ..kernel.residual import ResidualPlanner, planner_for
 from ..kernel.state import Commitment, KernelState
 from ..obs import current as obs_current
 from .base import Scheduler
@@ -70,28 +66,6 @@ REPLAN_EVENTS = frozenset(
         KernelEventType.REPLAN_TIMER,
     }
 )
-
-
-def build_residual_instance(
-    instance: ProblemInstance,
-    jobs: list[Job],
-    rounds_done: dict[int, int],
-    ready_at: dict[int, float],
-    *,
-    gpu_subset: list[int] | None = None,
-) -> tuple[ProblemInstance | None, list[tuple[int, int]]]:
-    """Deprecated import path: moved to
-    :func:`repro.kernel.residual.build_residual_instance`."""
-    warnings.warn(
-        "repro.schedulers.online.build_residual_instance moved to "
-        "repro.kernel.residual.build_residual_instance; import it from "
-        "there",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _build_residual_instance(
-        instance, jobs, rounds_done, ready_at, gpu_subset=gpu_subset
-    )
 
 
 class OnlineHarePolicy:
@@ -218,6 +192,14 @@ class OnlineHarePolicy:
             return candidate
         return state.alive
 
+    def passive_events(
+        self, state: KernelState
+    ) -> frozenset[KernelEventType]:
+        """Barriers and frees never trigger a re-plan (``REPLAN_EVENTS``)."""
+        return frozenset(
+            {KernelEventType.ROUND_BARRIER_OPEN, KernelEventType.GPU_FREE}
+        )
+
     def apply_remediation(self, action) -> bool:
         """Accept ``throttle_replans`` (clamp the timer wake-up rate)."""
         if getattr(action, "kind", None) != "throttle_replans":
@@ -269,17 +251,17 @@ class OnlineHarePolicy:
 @register("hare_online", summary="Event-driven re-planning Hare (online)")
 @dataclass(slots=True)
 class OnlineHareScheduler(Scheduler):
-    """Deprecated shim: drive :class:`OnlineHarePolicy` through the kernel.
+    """Registry entry for :class:`OnlineHarePolicy`.
 
-    Prefer ``repro.api.run_experiment(..., arrivals="streaming")`` or
-    :func:`repro.kernel.run_policy` with :meth:`make_policy` directly.
+    The scheme is natively online, so there is no offline ``schedule()``;
+    use :meth:`~repro.schedulers.base.Scheduler.plan` (which drives
+    :meth:`make_policy` through the kernel with every arrival known) or
+    ``repro.api.run_experiment(..., arrivals="streaming")``.
     """
 
     relaxation: str | RelaxationSolver = "fluid"
     placement: Placement = "earliest_finish"
     name: str = field(default="Hare_Online", init=False)
-    #: Number of re-planning events performed in the last run.
-    replans: int = field(default=0, init=False)
 
     def make_policy(self, instance: ProblemInstance) -> OnlineHarePolicy:
         return OnlineHarePolicy(
@@ -287,20 +269,7 @@ class OnlineHareScheduler(Scheduler):
         )
 
     def schedule(self, instance: ProblemInstance) -> Schedule:
-        warnings.warn(
-            "OnlineHareScheduler.schedule() is a deprecated shim over "
-            "repro.kernel; use run_policy(instance, "
-            "scheduler.make_policy(instance)) or the api's "
-            "arrivals='streaming' mode",
-            DeprecationWarning,
-            stacklevel=2,
+        raise NotImplementedError(
+            "OnlineHareScheduler has no offline schedule(); use .plan() "
+            "or the api's arrivals='streaming' mode"
         )
-        policy = self.make_policy(instance)
-        result = run_policy(instance, policy)
-        self.replans = policy.replans
-        if len(result.schedule) != instance.num_tasks:  # pragma: no cover
-            raise SolverError(
-                f"online scheduler committed {len(result.schedule)} of "
-                f"{instance.num_tasks} tasks"
-            )
-        return result.schedule

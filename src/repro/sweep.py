@@ -125,9 +125,10 @@ class SweepResult:
 # ----------------------------------------------------------------------
 def _run_cell(cell: Mapping) -> dict:
     """One grid cell → plain-dict headline results (picklable)."""
-    from .api import run_experiment  # local: repro.api re-exports sweep()
+    from .api import ExperimentSpec, run_experiment
+    # local import: repro.api re-exports sweep()
 
-    result = run_experiment(
+    spec = ExperimentSpec(
         gpus=cell["gpus"],
         jobs=cell["jobs"],
         scheduler=cell["scheduler"],
@@ -137,8 +138,10 @@ def _run_cell(cell: Mapping) -> dict:
         simulate=cell["simulate"],
         switch_mode=SwitchMode(cell["switch_mode"]),
         arrivals=cell["arrivals"],
+        kernel_backend=cell.get("kernel_backend", "auto"),
         trace=False,
     )
+    result = run_experiment(spec)
     return {
         "scheduler": result.scheduler,
         "seed": cell["seed"],
@@ -172,6 +175,7 @@ def sweep(
     simulate: bool = True,
     switch_mode: SwitchMode = SwitchMode.HARE,
     arrivals: str = "planned",
+    kernel_backend: str = "auto",
     workers: int = 4,
 ) -> SweepResult:
     """Run the seeds × schedulers × scales grid across worker processes.
@@ -203,6 +207,7 @@ def sweep(
             "simulate": simulate,
             "switch_mode": switch_mode.value,
             "arrivals": arrivals,
+            "kernel_backend": kernel_backend,
         }
         for seed in seed_list
         for gpus in scales
@@ -236,6 +241,8 @@ def sweep(
         "arrivals": arrivals,
         "workers": workers,
     }
+    if kernel_backend != "auto":
+        config["kernel_backend"] = kernel_backend
     return SweepResult(points=points, config=config)
 
 

@@ -143,7 +143,7 @@ def audit_theorem4(
     bound (a *stricter* test, since LB ≤ OPT).
     """
     scheduler = scheduler or HareScheduler(relaxation="exact")
-    schedule = scheduler.schedule(instance)
+    schedule = scheduler.plan(instance)
     alg = metrics_from_schedule(schedule).total_weighted_completion
     if instance.num_tasks <= MAX_TASKS:
         ref = metrics_from_schedule(

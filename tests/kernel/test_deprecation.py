@@ -1,4 +1,12 @@
-"""Deprecation hygiene: old entry points warn and stay equivalent."""
+"""Removal hygiene: the PR-6 deprecation shims are gone for good.
+
+These tests pin the *absence* of the old entry points so a later refactor
+cannot quietly resurrect them: ``scheduler_by_name`` (use
+``repro.schedulers.create``), the ``build_residual_instance`` re-export on
+``repro.schedulers.online`` (it lives in ``repro.kernel.residual``), and
+the offline ``OnlineHareScheduler.schedule`` (natively online — use
+``.plan()`` or streaming arrivals).
+"""
 
 from __future__ import annotations
 
@@ -6,77 +14,60 @@ import warnings
 
 import pytest
 
+import repro.schedulers as schedulers
+import repro.schedulers.online as online
 from repro.kernel import run_policy
-from repro.kernel.residual import (
-    build_residual_instance as kernel_build_residual,
-)
+from repro.kernel.residual import build_residual_instance
 from repro.schedulers import OnlineHareScheduler
-from repro.schedulers.online import build_residual_instance as old_build
-
-from tests.conftest import make_random_instance
 
 
-class TestOnlineHareSchedulerShim:
-    def test_schedule_warns(self, tiny_instance):
-        with pytest.warns(DeprecationWarning, match="deprecated shim"):
-            OnlineHareScheduler().schedule(tiny_instance)
+class TestRemovedShims:
+    def test_scheduler_by_name_is_gone(self):
+        assert not hasattr(schedulers, "scheduler_by_name")
+        with pytest.raises(ImportError):
+            from repro.schedulers import scheduler_by_name  # noqa: F401
 
-    def test_schedule_equals_kernel_run(self, tiny_instance):
-        sched = OnlineHareScheduler()
-        with pytest.warns(DeprecationWarning):
-            via_shim = sched.schedule(tiny_instance)
-        policy = sched.make_policy(tiny_instance)
-        direct = run_policy(tiny_instance, policy).schedule
-        assert set(via_shim.assignments) == set(direct.assignments)
-        for task, a in direct.assignments.items():
-            b = via_shim.assignments[task]
-            assert (b.gpu, b.start) == (a.gpu, a.start)
-        assert sched.replans == policy.replans
+    def test_online_module_does_not_reexport_build_residual(self):
+        assert not hasattr(online, "build_residual_instance")
+        with pytest.raises(ImportError):
+            from repro.schedulers.online import (  # noqa: F401
+                build_residual_instance,
+            )
 
-    def test_make_policy_does_not_warn(self, tiny_instance):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            OnlineHareScheduler().make_policy(tiny_instance)
-
-    def test_registry_name_still_resolves(self):
+    def test_create_replaces_scheduler_by_name(self):
         from repro.schedulers.registry import available, create
 
         assert "hare_online" in available()
         assert isinstance(create("hare_online"), OnlineHareScheduler)
 
 
-class TestBuildResidualImportPath:
-    def test_old_path_warns(self, tiny_instance):
-        with pytest.warns(DeprecationWarning, match="moved to"):
-            old_build(
-                tiny_instance,
-                list(tiny_instance.jobs),
-                {0: 0, 1: 0},
-                {0: 0.0, 1: 0.5},
-            )
+class TestOnlineHareSchedulerIsNativelyOnline:
+    def test_schedule_raises(self, tiny_instance):
+        with pytest.raises(NotImplementedError, match="streaming"):
+            OnlineHareScheduler().schedule(tiny_instance)
 
-    def test_old_and_new_paths_agree(self):
-        for seed in range(10):
-            inst = make_random_instance(seed)
-            rounds = {j.job_id: 0 for j in inst.jobs}
-            ready = {j.job_id: j.arrival for j in inst.jobs}
-            with pytest.warns(DeprecationWarning):
-                old_res, old_map = old_build(
-                    inst, list(inst.jobs), rounds, ready
-                )
-            new_res, new_map = kernel_build_residual(
-                inst, list(inst.jobs), rounds, ready
-            )
-            assert old_map == new_map
-            assert old_res.num_jobs == new_res.num_jobs
-            assert [j.arrival for j in old_res.jobs] == [
-                j.arrival for j in new_res.jobs
-            ]
+    def test_plan_equals_kernel_run(self, tiny_instance):
+        sched = OnlineHareScheduler()
+        via_plan = sched.plan(tiny_instance)
+        direct = run_policy(
+            tiny_instance, sched.make_policy(tiny_instance)
+        ).schedule
+        assert set(via_plan.assignments) == set(direct.assignments)
+        for task, a in direct.assignments.items():
+            b = via_plan.assignments[task]
+            assert (b.gpu, b.start) == (a.gpu, a.start)
 
-    def test_new_path_does_not_warn(self, tiny_instance):
+    def test_make_policy_does_not_warn(self, tiny_instance):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            kernel_build_residual(
+            OnlineHareScheduler().make_policy(tiny_instance)
+
+
+class TestResidualCanonicalPath:
+    def test_kernel_path_does_not_warn(self, tiny_instance):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_residual_instance(
                 tiny_instance,
                 list(tiny_instance.jobs),
                 {0: 0, 1: 0},

@@ -24,8 +24,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import warnings
-
 from repro.core import (
     Job,
     ProblemInstance,
@@ -80,10 +78,7 @@ SCHEDULERS = [create(key) for key in available()]
 def test_kernel_realizes_offline_metrics_for_every_scheduler(inst):
     """All-arrivals-known, no faults ⇒ kernel ≡ offline plan (1e-9)."""
     for sched in SCHEDULERS:
-        with warnings.catch_warnings():
-            # hare_online's Scheduler.schedule is itself a kernel shim.
-            warnings.simplefilter("ignore", DeprecationWarning)
-            offline = metrics_from_schedule(sched.schedule(inst))
+        offline = metrics_from_schedule(sched.plan(inst))
         result = run_policy(inst, sched.make_policy(inst))
         validate_schedule(result.schedule)
         streamed = result.metrics
@@ -151,9 +146,7 @@ def test_kernel_equivalence_on_testbed_workload(small_instance):
     zoo jobs, Google-like arrivals) every registered scheduler reproduces
     its offline weighted JCT and makespan through the kernel."""
     for sched in SCHEDULERS:
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            offline = metrics_from_schedule(sched.schedule(small_instance))
+        offline = metrics_from_schedule(sched.plan(small_instance))
         streamed = run_policy(
             small_instance, sched.make_policy(small_instance)
         ).metrics

@@ -73,7 +73,7 @@ SCHEDULERS = [
 def test_every_scheduler_is_feasible(inst):
     """Constraints (4)-(8) hold for every scheme on every instance."""
     for sched in SCHEDULERS:
-        validate_schedule(sched.schedule(inst))
+        validate_schedule(sched.plan(inst))
 
 
 @given(inst=instances())
@@ -82,7 +82,7 @@ def test_objective_at_least_certified_lower_bound(inst):
     lb = lower_bound(inst)
     for sched in SCHEDULERS:
         obj = metrics_from_schedule(
-            sched.schedule(inst)
+            sched.plan(inst)
         ).total_weighted_completion
         assert obj >= lb - 1e-6
 

@@ -14,8 +14,8 @@ from repro.schedulers import (
     SchedAlloxScheduler,
     SchedHomoScheduler,
     SrtfScheduler,
+    create,
     default_schedulers,
-    scheduler_by_name,
 )
 
 
@@ -204,16 +204,16 @@ class TestSchedAllox:
 
 class TestRegistry:
     def test_lookup_by_name(self):
-        assert scheduler_by_name("hare").name == "Hare"
-        assert scheduler_by_name("SCHED_ALLOX").name == "Sched_Allox"
+        assert create("hare").name == "Hare"
+        assert create("SCHED_ALLOX").name == "Sched_Allox"
 
     def test_extension_schedulers_resolvable(self):
-        assert scheduler_by_name("hare_online").name == "Hare_Online"
-        assert scheduler_by_name("gavel_ts").name == "Gavel_TS"
+        assert create("hare_online").name == "Hare_Online"
+        assert create("gavel_ts").name == "Gavel_TS"
 
     def test_unknown_name(self):
         with pytest.raises(KeyError):
-            scheduler_by_name("mystery")
+            create("mystery")
 
     def test_default_set_matches_paper(self):
         names = [s.name for s in default_schedulers()]

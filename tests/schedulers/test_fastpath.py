@@ -156,14 +156,11 @@ class TestAllRegisteredSchedulers:
     """Every registered scheme still produces a valid, deterministic
     schedule through the vectorized hot paths."""
 
-    # hare_online's Scheduler facade is a deprecated shim over the kernel;
-    # exercising it here is deliberate.
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     @pytest.mark.parametrize("key", available())
     def test_valid_and_deterministic(self, key, small_instance):
-        first = create(key).schedule(small_instance)
+        first = create(key).plan(small_instance)
         validate_schedule(first)
-        second = create(key).schedule(small_instance)
+        second = create(key).plan(small_instance)
         assert first.assignments == second.assignments
 
 

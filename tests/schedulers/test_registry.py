@@ -13,7 +13,6 @@ from repro.schedulers import (
     create_from_spec,
     info,
     register,
-    scheduler_by_name,
     schemes,
 )
 
@@ -94,21 +93,15 @@ class TestCreateFromSpec:
             create_from_spec(42)
 
 
-class TestDeprecatedShim:
-    def test_scheduler_by_name_warns_and_delegates(self):
-        with pytest.deprecated_call():
-            sched = scheduler_by_name("hare")
-        assert isinstance(sched, HareScheduler)
+class TestRemovedShim:
+    def test_scheduler_by_name_is_gone(self):
+        assert not hasattr(schedulers, "scheduler_by_name")
+        assert "scheduler_by_name" not in schedulers.__all__
 
-    def test_shim_accepts_legend_capitalization(self):
-        with pytest.deprecated_call():
-            sched = scheduler_by_name("Gavel_FIFO")
+    def test_create_accepts_legend_capitalization(self):
+        sched = create("Gavel_FIFO")
         assert isinstance(sched, Scheduler)
         assert sched.name == "Gavel_FIFO"
-
-    def test_shim_unknown_name_still_raises_keyerror(self):
-        with pytest.deprecated_call(), pytest.raises(KeyError):
-            scheduler_by_name("nope")
 
     def test_module_reexports_registry_api(self):
         for symbol in ("available", "create", "create_from_spec", "info",

@@ -294,3 +294,115 @@ class TestDiagnosisAndRecorder:
         assert doc["config"]["scheduler"] == "hare_online"
         flat = flatten_metrics(monitored_run.metrics_snapshot())
         assert doc["metrics"] == pytest.approx(flat)
+
+
+class TestExperimentSpec:
+    def test_spec_and_kwargs_paths_agree(self):
+        from repro.api import ExperimentSpec
+
+        spec = ExperimentSpec(scheduler="hare", simulate=False,
+                              trace=False, **SMALL)
+        via_spec = run_experiment(spec)
+        via_kwargs = run_experiment(
+            scheduler="hare", simulate=False, trace=False, **SMALL
+        )
+        assert via_spec.config == via_kwargs.config
+        assert via_spec.weighted_jct == via_kwargs.weighted_jct
+        assert via_spec.plan.assignments == via_kwargs.plan.assignments
+
+    def test_spec_is_frozen_and_hashable(self):
+        from dataclasses import FrozenInstanceError
+
+        from repro.api import ExperimentSpec
+
+        spec = ExperimentSpec()
+        assert isinstance(hash(spec), int)
+        with pytest.raises(FrozenInstanceError):
+            spec.gpus = 99
+
+    def test_mutable_inputs_normalized_to_tuples(self):
+        from repro.api import ExperimentSpec
+        from repro.harness.experiments import make_loaded_workload
+
+        jobs = make_loaded_workload(3, reference_gpus=4, load=1.0, seed=0)
+        spec = ExperimentSpec(
+            workload=jobs, arrivals="streaming", crashes=[(1.0, 0)]
+        )
+        assert isinstance(spec.workload, tuple)
+        assert spec.crashes == ((1.0, 0),)
+
+    def test_validation_happens_at_construction(self):
+        from repro.api import ExperimentSpec
+
+        with pytest.raises(ValueError, match="streaming"):
+            ExperimentSpec(heal=True)
+        with pytest.raises(ValueError, match="streaming"):
+            ExperimentSpec(replan_interval=1.0)
+        with pytest.raises(ValueError, match="streaming"):
+            ExperimentSpec(crashes=[(1.0, 0)])
+        with pytest.raises(ValueError, match="kernel_backend"):
+            ExperimentSpec(kernel_backend="bogus")
+        with pytest.raises(ValueError, match="arrivals"):
+            ExperimentSpec(arrivals="nope")
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="bogus"):
+            run_experiment(bogus=1)
+
+    def test_spec_plus_kwargs_rejected(self):
+        from repro.api import ExperimentSpec
+
+        with pytest.raises(TypeError, match="not both"):
+            run_experiment(ExperimentSpec(), gpus=4)
+
+    def test_non_spec_positional_rejected(self):
+        with pytest.raises(TypeError, match="ExperimentSpec"):
+            run_experiment({"gpus": 4})
+
+    def test_to_dict_matches_manifest_config(self):
+        from repro.api import ExperimentSpec
+
+        spec = ExperimentSpec(scheduler="hare", simulate=False,
+                              trace=False, **SMALL)
+        result = run_experiment(spec)
+        assert result.config == spec.to_dict()
+        # default-valued optional knobs stay out of the config block
+        assert "kernel_backend" not in result.config
+        assert "heal" not in result.config
+        assert "replan_interval" not in result.config
+
+    def test_non_default_backend_lands_in_config(self):
+        from repro.api import ExperimentSpec
+
+        spec = ExperimentSpec(
+            scheduler="hare_online", arrivals="streaming",
+            simulate=False, trace=False, kernel_backend="array", **SMALL
+        )
+        result = run_experiment(spec)
+        assert result.config["kernel_backend"] == "array"
+        assert result.kernel is not None
+
+    def test_backends_agree_through_the_api(self):
+        results = {
+            backend: run_experiment(
+                scheduler="hare_online", arrivals="streaming",
+                simulate=False, trace=False, kernel_backend=backend,
+                **SMALL,
+            )
+            for backend in ("reference", "array")
+        }
+        ref, arr = results["reference"], results["array"]
+        assert arr.kernel.events == ref.kernel.events
+        assert arr.weighted_jct == ref.weighted_jct
+        assert arr.plan.assignments == ref.plan.assignments
+
+    def test_compare_accepts_kernel_backend(self):
+        comparison = compare(
+            schedulers=("hare", "srtf"), arrivals="streaming",
+            trace=False, kernel_backend="array", **SMALL,
+        )
+        assert comparison.config["kernel_backend"] == "array"
+        assert set(comparison.names) == {"Hare", "SRTF"}
+
+    def test_reexported_from_package_root(self):
+        assert repro.ExperimentSpec is repro.api.ExperimentSpec

@@ -91,10 +91,10 @@ class TestOnlineSchedulerCustomSolver:
         sched = OnlineHareScheduler(
             relaxation=FluidRelaxationSolver(harmonic=True)
         )
-        validate_schedule(sched.schedule(tiny_instance))
+        validate_schedule(sched.plan(tiny_instance))
 
     def test_unknown_relaxation_rejected(self, tiny_instance):
         from repro.core import SolverError
 
         with pytest.raises(SolverError):
-            OnlineHareScheduler(relaxation="bogus").schedule(tiny_instance)
+            OnlineHareScheduler(relaxation="bogus").plan(tiny_instance)
