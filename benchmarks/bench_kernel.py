@@ -11,14 +11,18 @@ and 10k-task scales, vectorized vs ``_reference_`` implementations, plus
 ``sched.phase.*`` quantiles). The ``array_kernel`` arm races the
 vectorized array event loop against the pinned reference loop on three
 workload shapes and reports ``kernel_speedup_x`` (CI gates the
-``gang_online`` arm at ≥10x). CI's ``bench-smoke`` job runs this and
-uploads the artifact; it is a smoke + trend probe, not a rigorous perf
-harness.
+``gang_online`` arm at ≥10x). The ``sharded`` arm races cell-sharded
+scheduling (:mod:`repro.cells`) against flat Hare end to end at the
+10k-GPU / 5k-job tier and reports ``speedup_x`` plus the weighted-JCT
+band (CI's ``shard-smoke`` gates the speedup at ≥3x). CI's
+``bench-smoke`` job runs this and uploads the artifact; it is a smoke +
+trend probe, not a rigorous perf harness.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py \
-        [--jobs 24] [--seed 7] [--out benchmarks/out/BENCH_kernel.json]
+        [--jobs 24] [--seed 7] [--arms sharded,heal,...] \
+        [--out benchmarks/out/BENCH_kernel.json]
 """
 
 from __future__ import annotations
@@ -298,6 +302,62 @@ def bench_array_kernel(seed: int, *, repeats: int = 3) -> dict:
     }
 
 
+#: The sharded arm's shape: (jobs, rounds, sync_scale, gpus, cells).
+#: ≥10k GPUs / ≥5k jobs — the tier the cell architecture targets.
+SHARDED_SHAPE: tuple[int, int, int, int, int] = (5000, 1, 2, 10000, 16)
+
+
+def bench_sharded(seed: int) -> dict:
+    """Cell-sharded vs flat Hare, end to end, at the 10k-GPU tier.
+
+    Both arms run :func:`repro.cells.run_sharded` on the identical
+    instance — ``cells=1`` takes the pinned flat ``run_policy`` path,
+    ``cells=C`` partitions, admits and runs per-cell kernels — and the
+    arm reports each side's end-to-end plan latency (instance in hand →
+    merged, simulated schedule out) plus the weighted-JCT band the
+    sharding costs. CI's shard-smoke job holds ``speedup_x`` at ≥3;
+    ``jct_ratio`` is deterministic and drift-gated EXACT.
+    """
+    from repro.cells import run_sharded
+
+    n_jobs, rounds, scale, gpus, cells = SHARDED_SHAPE
+    instance = _sched_instance(n_jobs, rounds, scale, gpus, seed)
+
+    def arm(num_cells: int) -> dict:
+        with use(Obs.start(trace=False)):
+            t0 = time.perf_counter()
+            result = run_sharded(instance, "hare", cells=num_cells)
+            wall_s = time.perf_counter() - t0
+        return {
+            "wall_s": wall_s,
+            "events": result.events,
+            "commitments": result.commitments,
+            "weighted_jct": result.metrics.total_weighted_completion,
+            "makespan": result.metrics.makespan,
+        }
+
+    flat = arm(1)
+    sharded = arm(cells)
+    return {
+        "gpus": instance.num_gpus,
+        "jobs": instance.num_jobs,
+        "tasks": instance.num_tasks,
+        "cells": cells,
+        "flat": flat,
+        "sharded": sharded,
+        "speedup_x": (
+            flat["wall_s"] / sharded["wall_s"]
+            if sharded["wall_s"] > 0
+            else 0.0
+        ),
+        "jct_ratio": (
+            sharded["weighted_jct"] / flat["weighted_jct"]
+            if flat["weighted_jct"] > 0
+            else 0.0
+        ),
+    }
+
+
 def _sched_instance(n_jobs: int, rounds: int, scale: int, gpus: int, seed: int):
     """Deterministic dense instance of exactly n_jobs*rounds*scale tasks."""
     rng = np.random.default_rng(seed)
@@ -385,16 +445,38 @@ def bench_sched_throughput(seed: int, *, repeats: int = 5) -> dict:
     return arms
 
 
+#: Every bench arm, in report order.
+ALL_ARMS: tuple[str, ...] = (
+    "planned_hare",
+    "online_hare",
+    "recorder_overhead",
+    "heal",
+    "sched_throughput",
+    "array_kernel",
+    "sharded",
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=24)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--arms",
+        default=",".join(ALL_ARMS),
+        help="comma-separated arm subset to run (default: all); "
+        f"known arms: {', '.join(ALL_ARMS)}",
+    )
     parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).parent / "out" / "BENCH_kernel.json",
     )
     args = parser.parse_args(argv)
+    arms = [a.strip() for a in args.arms.split(",") if a.strip()]
+    unknown = sorted(set(arms) - set(ALL_ARMS))
+    if unknown:
+        parser.error(f"unknown arms: {', '.join(unknown)}")
 
     cluster = testbed_cluster()
     jobs = make_workload(
@@ -402,6 +484,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     instance = build_instance(jobs, cluster)
 
+    runners = {
+        "planned_hare": lambda: bench_one(
+            instance,
+            lambda: PlannedPolicy(HareScheduler(relaxation="fluid")),
+        ),
+        "online_hare": lambda: bench_one(
+            instance, lambda: OnlineHarePolicy(relaxation="fluid")
+        ),
+        "recorder_overhead": lambda: bench_recorder_overhead(
+            instance, lambda: OnlineHarePolicy(relaxation="fluid")
+        ),
+        "heal": lambda: bench_heal(instance),
+        "sched_throughput": lambda: bench_sched_throughput(args.seed),
+        "array_kernel": lambda: bench_array_kernel(args.seed),
+        "sharded": lambda: bench_sharded(args.seed),
+    }
     report = {
         "benchmark": "kernel",
         "config": {
@@ -410,20 +508,10 @@ def main(argv: list[str] | None = None) -> int:
             "tasks": instance.num_tasks,
             "seed": args.seed,
         },
-        "planned_hare": bench_one(
-            instance,
-            lambda: PlannedPolicy(HareScheduler(relaxation="fluid")),
-        ),
-        "online_hare": bench_one(
-            instance, lambda: OnlineHarePolicy(relaxation="fluid")
-        ),
-        "recorder_overhead": bench_recorder_overhead(
-            instance, lambda: OnlineHarePolicy(relaxation="fluid")
-        ),
-        "heal": bench_heal(instance),
-        "sched_throughput": bench_sched_throughput(args.seed),
-        "array_kernel": bench_array_kernel(args.seed),
     }
+    for name in ALL_ARMS:
+        if name in arms:
+            report[name] = runners[name]()
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Literal, Mapping, Sequence, Union
 
+from .cells import ADMISSION_POLICIES, CELL_STRATEGIES, run_sharded
 from .cluster.cluster import Cluster, scaled_cluster, testbed_cluster
 from .core.job import Job, ProblemInstance
 from .core.metrics import ScheduleMetrics, metrics_from_schedule
@@ -115,6 +116,13 @@ class ExperimentSpec:
     #: Kernel event-loop implementation for streaming runs
     #: (:data:`repro.kernel.KERNEL_BACKENDS`).
     kernel_backend: str = "auto"
+    #: Cell count for hierarchical sharded scheduling
+    #: (:mod:`repro.cells`); ``1`` is the pinned flat path.
+    cells: int = 1
+    #: Partitioning strategy (:data:`repro.cells.CELL_STRATEGIES`).
+    cell_strategy: str = "balanced"
+    #: Global admission policy (:data:`repro.cells.ADMISSION_POLICIES`).
+    admission: str = "throughput"
 
     def __post_init__(self) -> None:
         if self.arrivals not in _ARRIVALS_MODES:
@@ -133,6 +141,28 @@ class ExperimentSpec:
             raise ValueError(
                 "heal / replan_interval / crashes require "
                 "arrivals='streaming' (they act on the kernel event loop)"
+            )
+        if self.cells < 1:
+            raise ValueError(f"cells must be >= 1, got {self.cells}")
+        if self.cell_strategy not in CELL_STRATEGIES:
+            raise ValueError(
+                f"cell_strategy must be one of {CELL_STRATEGIES}, "
+                f"got {self.cell_strategy!r}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.cells > 1 and self.arrivals != "streaming":
+            raise ValueError(
+                "cells > 1 requires arrivals='streaming' (cells run "
+                "per-cell scheduling kernels)"
+            )
+        if self.cells > 1 and self.heal:
+            raise ValueError(
+                "heal=True needs the flat kernel (cells=1): the "
+                "remediation engine attaches to a single event loop"
             )
         if self.workload is not None and not isinstance(
             self.workload, tuple
@@ -186,6 +216,10 @@ class ExperimentSpec:
             config["crashes"] = [list(c) for c in self.crashes]
         if self.kernel_backend != "auto":
             config["kernel_backend"] = self.kernel_backend
+        if self.cells > 1:
+            config["cells"] = self.cells
+            config["cell_strategy"] = self.cell_strategy
+            config["admission"] = self.admission
         return config
 
 
@@ -269,6 +303,12 @@ class RunResult:
                 "replans": self.kernel.replans,
                 "retracted_rounds": self.kernel.retracted_rounds,
             }
+            cell_stats = getattr(self.kernel, "cell_stats", None)
+            if cell_stats is not None:
+                results["kernel"]["cells"] = [
+                    {k: v for k, v in s.items() if k != "wall_s"}
+                    for s in cell_stats
+                ]
         if self.diagnosis is not None:
             results["diagnosis"] = {
                 "ok": self.diagnosis.ok,
@@ -446,6 +486,9 @@ def _run_one(
     replan_interval: float | None = None,
     crashes: Sequence[tuple[float, int]] | None = None,
     kernel_backend: str = "auto",
+    cells: int = 1,
+    cell_strategy: str = "balanced",
+    admission: str = "throughput",
 ) -> RunResult:
     if arrivals not in _ARRIVALS_MODES:
         raise ValueError(
@@ -457,6 +500,16 @@ def _run_one(
         raise ValueError(
             "heal / replan_interval / crashes require arrivals='streaming' "
             "(they act on the kernel event loop)"
+        )
+    if cells > 1 and arrivals != "streaming":
+        raise ValueError(
+            "cells > 1 requires arrivals='streaming' (cells run per-cell "
+            "scheduling kernels)"
+        )
+    if cells > 1 and heal:
+        raise ValueError(
+            "heal=True needs the flat kernel (cells=1): the remediation "
+            "engine attaches to a single event loop"
         )
     sched = create_from_spec(scheduler)
     engine = RemediationEngine(instance) if heal else None
@@ -471,7 +524,20 @@ def _run_one(
     )
     kernel_result: KernelResult | None = None
     with use(obs):
-        if arrivals == "streaming":
+        if arrivals == "streaming" and cells > 1:
+            kernel_result = run_sharded(
+                instance,
+                sched,
+                cells=cells,
+                strategy=cell_strategy,
+                cluster=cluster,
+                admission=admission,
+                crashes=crashes,
+                replan_interval=replan_interval,
+                kernel_backend=kernel_backend,
+            )
+            plan = kernel_result.schedule
+        elif arrivals == "streaming":
             kernel_result = run_policy(
                 instance,
                 sched.make_policy(instance),
@@ -551,7 +617,16 @@ def run_experiment(
 
     ``kernel_backend`` selects the streaming event-loop implementation
     (:data:`repro.kernel.KERNEL_BACKENDS`); ``"auto"`` picks the
-    vectorized array backend for large instances.
+    vectorized array backend for large instances (unless the policy
+    prefers the reference loop).
+
+    ``cells > 1`` (streaming only) enables hierarchical cell-sharded
+    scheduling (:mod:`repro.cells`): the cluster is split by
+    ``cell_strategy``, each job is admitted to exactly one cell by the
+    ``admission`` policy, and one per-cell kernel runs per cell;
+    :attr:`RunResult.kernel` is the merged
+    :class:`~repro.cells.ShardedKernelResult`. ``cells=1`` is pinned
+    byte-identical to the flat kernel path.
     """
     if spec is not None and kwargs:
         raise TypeError(
@@ -577,6 +652,8 @@ def run_experiment(
         arrivals=spec.arrivals, record=spec.record, monitors=spec.monitors,
         heal=spec.heal, replan_interval=spec.replan_interval,
         crashes=spec.crashes, kernel_backend=spec.kernel_backend,
+        cells=spec.cells, cell_strategy=spec.cell_strategy,
+        admission=spec.admission,
     )
 
 
@@ -644,6 +721,9 @@ def compare(
     record: bool = False,
     monitors: bool = False,
     kernel_backend: str = "auto",
+    cells: int = 1,
+    cell_strategy: str = "balanced",
+    admission: str = "throughput",
 ) -> CompareResult:
     """Run several schedulers on one shared workload.
 
@@ -674,6 +754,10 @@ def compare(
     }
     if kernel_backend != "auto":
         config["kernel_backend"] = kernel_backend
+    if cells > 1:
+        config["cells"] = cells
+        config["cell_strategy"] = cell_strategy
+        config["admission"] = admission
     results: dict[str, RunResult] = {}
     for scheme in schemes:
         spec = ExperimentSpec(
@@ -683,6 +767,7 @@ def compare(
             cluster=cluster, workload=tuple(workload), arrivals=arrivals,
             record=record, monitors=monitors,
             kernel_backend=kernel_backend,
+            cells=cells, cell_strategy=cell_strategy, admission=admission,
         )
         run = _run_one(
             spec.scheduler, cluster, instance,
@@ -690,6 +775,8 @@ def compare(
             trace=spec.trace, validate=spec.validate, config=config,
             arrivals=spec.arrivals, record=spec.record,
             monitors=spec.monitors, kernel_backend=spec.kernel_backend,
+            cells=spec.cells, cell_strategy=spec.cell_strategy,
+            admission=spec.admission,
         )
         results[run.scheduler] = run
     return CompareResult(results=results, config=config)

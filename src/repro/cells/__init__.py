@@ -1,0 +1,56 @@
+"""repro.cells — hierarchical cell-sharded scheduling (DESIGN.md §16).
+
+One logical scheduler over 10k+ GPUs, in three layers:
+
+1. :class:`CellPartitioner` splits the cluster into disjoint *cells*
+   (balanced ranges, per-GPU-type, or whole failure domains) with real
+   :meth:`~repro.cluster.Cluster.subcluster` views;
+2. :class:`GlobalAdmission` scores each arriving job against every
+   cell via a per-(job, GPU-type) effective-throughput matrix (the
+   Gavel-style heterogeneity-aware allocation) and commits it to
+   exactly one cell;
+3. :class:`ShardedKernel` runs one per-cell scheduling kernel (array
+   or reference backend, per cell) and merges the commit logs, stats
+   and metrics into one :class:`~repro.kernel.runner.KernelResult`.
+
+``cells=1`` is pinned byte-identical to the flat
+:func:`repro.kernel.runner.run_policy` path.
+"""
+
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionDecision,
+    AdmissionPlan,
+    GlobalAdmission,
+    throughput_matrix,
+)
+from .partition import (
+    CELL_STRATEGIES,
+    Cell,
+    CellPartition,
+    CellPartitioner,
+)
+from .sharded import (
+    CELLS_TRACK,
+    ShardedKernel,
+    ShardedKernelResult,
+    cell_instance,
+    run_sharded,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionDecision",
+    "AdmissionPlan",
+    "CELL_STRATEGIES",
+    "CELLS_TRACK",
+    "Cell",
+    "CellPartition",
+    "CellPartitioner",
+    "GlobalAdmission",
+    "ShardedKernel",
+    "ShardedKernelResult",
+    "cell_instance",
+    "run_sharded",
+    "throughput_matrix",
+]

@@ -47,6 +47,7 @@ import sys
 from typing import Sequence
 
 from . import api
+from .cells import ADMISSION_POLICIES, CELL_STRATEGIES
 from .cluster import gpu_spec, scaled_cluster, testbed_cluster
 from .core import improvement_percent
 from .core.types import ModelName, SwitchMode
@@ -119,6 +120,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         trace=_wants_artifacts(args),
         arrivals=getattr(args, "arrivals", "planned"),
         kernel_backend=getattr(args, "kernel_backend", "auto"),
+        cells=getattr(args, "cells", 1),
+        cell_strategy=getattr(args, "cell_strategy", "balanced"),
+        admission=getattr(args, "admission", "throughput"),
     )
     results = comparison.results
     hare = results["Hare"].metrics.total_weighted_flow
@@ -170,6 +174,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         trace=_wants_artifacts(args),
         arrivals=getattr(args, "arrivals", "planned"),
         kernel_backend=getattr(args, "kernel_backend", "auto"),
+        cells=getattr(args, "cells", 1),
+        cell_strategy=getattr(args, "cell_strategy", "balanced"),
+        admission=getattr(args, "admission", "throughput"),
     )
     m = r.metrics
     rows = [
@@ -781,8 +788,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
                        default="auto", dest="kernel_backend",
                        help="streaming event-loop implementation: auto = "
-                            "pick by instance size, array = vectorized "
-                            "batch loop, reference = pinned per-event loop")
+                            "pick by instance size and policy type, array "
+                            "= vectorized batch loop, reference = pinned "
+                            "per-event loop")
+        p.add_argument("--cells", type=int, default=1,
+                       help="cell count for hierarchical sharded "
+                            "scheduling (streaming only); 1 = flat")
+        p.add_argument("--cell-strategy", choices=CELL_STRATEGIES,
+                       default="balanced", dest="cell_strategy",
+                       help="how the cluster is split into cells")
+        p.add_argument("--admission", choices=ADMISSION_POLICIES,
+                       default="throughput",
+                       help="global job-to-cell admission policy")
         p.add_argument("--trace", metavar="CSV",
                        help="load the workload from a trace CSV instead of "
                             "generating one")

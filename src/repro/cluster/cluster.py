@@ -87,6 +87,57 @@ class Cluster:
         """Same hardware, different interconnect (Fig. 18 sweeps)."""
         return Cluster(nodes=self.nodes, network=network)
 
+    def subcluster(self, gpu_ids: Sequence[int]) -> "Cluster":
+        """A dense sub-cluster view over *gpu_ids* (ascending global order).
+
+        The selected devices are re-indexed ``0..len(gpu_ids)-1`` so the
+        result satisfies the dense-id invariant and can be used anywhere a
+        :class:`Cluster` is expected (cell-local scheduling). Local GPU
+        ``j`` corresponds to global GPU ``sorted(gpu_ids)[j]``, which is
+        exactly the column-slice convention of
+        :func:`repro.kernel.residual.build_residual_instance`, so matrices
+        sliced with ``np.ix_(rows, sorted(gpu_ids))`` line up with the
+        sub-cluster's device order. Node boundaries (failure domains) are
+        preserved: devices stay grouped under their original host, and the
+        interconnect config is shared.
+        """
+        ids = sorted(gpu_ids)
+        if not ids:
+            raise ConfigurationError("a sub-cluster needs at least one GPU")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate GPU ids in {list(gpu_ids)!r}")
+        if ids[0] < 0 or ids[-1] >= self.num_gpus:
+            raise ConfigurationError(
+                f"GPU ids {list(gpu_ids)!r} out of range for a "
+                f"{self.num_gpus}-GPU cluster"
+            )
+        wanted = set(ids)
+        nodes: list[Node] = []
+        next_gpu = 0
+        for node in self.nodes:
+            picked = [g for g in node.gpus if g.gpu_id in wanted]
+            if not picked:
+                continue
+            node_id = len(nodes)
+            gpus = tuple(
+                GPUDevice(
+                    gpu_id=next_gpu + j,
+                    node_id=node_id,
+                    local_index=j,
+                    spec=g.spec,
+                )
+                for j, g in enumerate(picked)
+            )
+            next_gpu += len(gpus)
+            nodes.append(
+                Node(
+                    node_id=node_id,
+                    gpus=gpus,
+                    host_memory_bytes=node.host_memory_bytes,
+                )
+            )
+        return Cluster(nodes=tuple(nodes), network=self.network)
+
 
 def make_cluster(
     gpu_models: Sequence[GPUModel | str],

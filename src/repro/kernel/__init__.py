@@ -27,6 +27,7 @@ from .runner import (
     KernelResult,
     SchedulingKernel,
     run_policy,
+    select_kernel_backend,
 )
 from .state import KERNEL_EPS, Commitment, KernelState
 
@@ -50,4 +51,5 @@ __all__ = [
     "build_residual_instance",
     "gang_commitment",
     "run_policy",
+    "select_kernel_backend",
 ]

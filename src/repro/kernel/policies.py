@@ -44,6 +44,12 @@ class Policy(ABC):
     #: Display name (mirrors :attr:`repro.schedulers.base.Scheduler.name`).
     name: str = "policy"
 
+    #: Backend hint for ``kernel_backend="auto"``: policies that re-plan
+    #: on most events (so the array backend's planned/gang fast paths
+    #: never engage) should set this True to stay on the reference loop
+    #: at any scale. See :func:`repro.kernel.runner.select_kernel_backend`.
+    prefers_reference_backend: bool = False
+
     def setup(self, state: KernelState) -> None:
         """One-time hook before the first event (feasibility checks …)."""
 

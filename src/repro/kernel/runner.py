@@ -459,6 +459,37 @@ ARRAY_KERNEL_TASK_LIMIT = 2048
 KERNEL_BACKENDS = ("auto", "array", "reference")
 
 
+def select_kernel_backend(
+    policy: Policy,
+    instance: ProblemInstance,
+    kernel_backend: str = "auto",
+) -> str:
+    """Resolve *kernel_backend* to ``"array"`` or ``"reference"``.
+
+    Explicit choices pass through untouched. ``"auto"`` considers both
+    the task count **and the policy type**: a policy that declares
+    ``prefers_reference_backend = True`` (natively online re-planners
+    such as :class:`repro.schedulers.online.OnlineHarePolicy`) stays on
+    the reference loop regardless of scale — the array backend's
+    planned/gang fast paths never engage for them, so its per-event
+    numpy overhead made ``online_replan`` *slower* than the reference
+    loop (0.74x in BENCH_kernel.json) while the old heuristic still
+    switched on task count alone.
+    """
+    if kernel_backend not in KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel_backend {kernel_backend!r}; "
+            f"expected one of {KERNEL_BACKENDS}"
+        )
+    if kernel_backend != "auto":
+        return kernel_backend
+    if getattr(policy, "prefers_reference_backend", False):
+        return "reference"
+    if instance.num_tasks >= ARRAY_KERNEL_TASK_LIMIT:
+        return "array"
+    return "reference"
+
+
 def run_policy(
     instance: ProblemInstance,
     policy: Policy,
@@ -480,19 +511,12 @@ def run_policy(
     ``"reference"`` is the pinned per-event-object loop
     (:class:`SchedulingKernel`), ``"array"`` the vectorized batch loop
     (:class:`repro.kernel.array.ArraySchedulingKernel`), and ``"auto"``
-    picks the array backend from :data:`ARRAY_KERNEL_TASK_LIMIT` tasks
-    upward. Both produce byte-identical results.
+    resolves via :func:`select_kernel_backend`: the array backend from
+    :data:`ARRAY_KERNEL_TASK_LIMIT` tasks upward, unless the policy
+    declares ``prefers_reference_backend``. Both produce byte-identical
+    results.
     """
-    if kernel_backend not in KERNEL_BACKENDS:
-        raise ConfigurationError(
-            f"unknown kernel_backend {kernel_backend!r}; "
-            f"expected one of {KERNEL_BACKENDS}"
-        )
-    use_array = kernel_backend == "array" or (
-        kernel_backend == "auto"
-        and instance.num_tasks >= ARRAY_KERNEL_TASK_LIMIT
-    )
-    if use_array:
+    if select_kernel_backend(policy, instance, kernel_backend) == "array":
         from .array import ArraySchedulingKernel
 
         kernel_cls = ArraySchedulingKernel

@@ -757,6 +757,85 @@ class RpcBudgetMonitor(Monitor):
         )
 
 
+class CellImbalanceMonitor(Monitor):
+    """Cross-cell load imbalance in sharded-scheduling runs.
+
+    :class:`repro.cells.ShardedKernel` emits one ``cells.partition``
+    instant carrying the cell count, then one ``cells.admit`` instant
+    per admitted job carrying the target ``cell`` and the estimated
+    ``work_s`` the admission layer charged it. This monitor accumulates
+    the per-cell totals and warns when the heaviest cell carries at
+    least ``ratio`` times the mean admitted load — cells that admitted
+    nothing count as zero, so "everything landed on one cell" is the
+    loudest case — and the excess is at least ``min_excess_s`` of work
+    (tiny workloads stay quiet). Flat runs produce no ``cells.*``
+    records, so the monitor stays silent there.
+    """
+
+    name = "cell_load_imbalance"
+
+    def __init__(
+        self, *, ratio: float = 2.0, min_excess_s: float = 1.0
+    ) -> None:
+        super().__init__()
+        self.ratio = ratio
+        self.min_excess_s = min_excess_s
+        self._num_cells = 0
+        self._loads: dict[int, float] = {}
+        self._jobs: dict[int, int] = {}
+        self._reported = False
+
+    def on_record(self, record: Record) -> None:
+        if record.kind != "instant":
+            return
+        if record.name == "cells.partition":
+            self._num_cells = max(
+                self._num_cells, int(record.args.get("cells", 0))
+            )
+            return
+        if record.name != "cells.admit":
+            return
+        cell = record.args.get("cell")
+        if cell is None:
+            return
+        cell = int(cell)
+        self._loads[cell] = self._loads.get(cell, 0.0) + float(
+            record.args.get("work_s", 0.0)
+        )
+        self._jobs[cell] = self._jobs.get(cell, 0) + 1
+
+    def _evaluate(self) -> None:
+        n = max(self._num_cells, len(self._loads))
+        if self._reported or n < 2 or not self._loads:
+            return
+        total = sum(self._loads.values())
+        if total <= 0:
+            return
+        mean = total / n
+        heaviest = max(self._loads, key=lambda c: (self._loads[c], -c))
+        load = self._loads[heaviest]
+        if load >= self.ratio * mean and load - mean >= self.min_excess_s:
+            self._reported = True
+            self.emit(
+                Severity.WARNING,
+                f"cell load imbalance: cell {heaviest} admitted "
+                f"{load:.3f}s of work ({self._jobs[heaviest]} job(s)), "
+                f"{load / mean:.2f}x the {mean:.3f}s mean across "
+                f"{n} cells",
+                cell=heaviest,
+                load_s=load,
+                mean_s=mean,
+                ratio=load / mean,
+                cells=n,
+            )
+
+    def poll(self, ctx: DiagnosisContext) -> None:
+        self._evaluate()
+
+    def finish(self, ctx: DiagnosisContext) -> None:
+        self._evaluate()
+
+
 # ----------------------------------------------------------------------
 # Assembly
 # ----------------------------------------------------------------------
@@ -771,6 +850,7 @@ def default_monitors(instance=None) -> list[Monitor]:
         JobStarvationMonitor(),
         UtilizationCollapseMonitor(),
         RpcBudgetMonitor(),
+        CellImbalanceMonitor(),
     ]
 
 

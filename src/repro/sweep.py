@@ -1,7 +1,8 @@
-"""Process-parallel experiment sweeps over (seed, scheduler, scale) grids.
+"""Process-parallel sweeps over (seed, scheduler, scale, cells) grids.
 
 :func:`sweep` shards the Cartesian grid of seeds × schedulers × cluster
-scales across a :class:`concurrent.futures.ProcessPoolExecutor` and runs
+scales × cell counts across a
+:class:`concurrent.futures.ProcessPoolExecutor` and runs
 each cell through :func:`repro.api.run_experiment` with identical
 parameters, so every cell's headline metrics are **byte-equal** to the
 serial run of the same cell (the pool only changes where the work
@@ -33,7 +34,7 @@ from .obs.baseline import BASELINE_SCHEMA, write_baseline
 
 @dataclass(frozen=True, slots=True)
 class SweepPoint:
-    """One (scheduler, seed, gpus) grid cell's headline results."""
+    """One (scheduler, seed, gpus, cells) grid cell's headline results."""
 
     scheduler: str
     seed: int
@@ -43,10 +44,12 @@ class SweepPoint:
     weighted_flow: float
     makespan: float
     simulated: bool
+    #: Cell count of the sharded-scheduling axis; 1 = the flat path.
+    cells: int = 1
 
     @property
-    def key(self) -> tuple[str, int, int]:
-        return (self.scheduler, self.seed, self.gpus)
+    def key(self) -> tuple[str, int, int, int]:
+        return (self.scheduler, self.seed, self.gpus, self.cells)
 
 
 @dataclass(slots=True)
@@ -62,7 +65,9 @@ class SweepResult:
     def __len__(self) -> int:
         return len(self.points)
 
-    def __getitem__(self, key: tuple[str, int, int]) -> SweepPoint:
+    def __getitem__(self, key: tuple) -> SweepPoint:
+        if len(key) == 3:  # pre-cells callers: flat axis implied
+            key = (*key, 1)
         for point in self.points:
             if point.key == key:
                 return point
@@ -81,6 +86,8 @@ class SweepResult:
         flat: dict[str, float] = {}
         for point in self.points:
             stem = f"sweep.{point.scheduler}.seed{point.seed}.gpus{point.gpus}"
+            if point.cells != 1:  # flat stems stay pinned byte-identical
+                stem += f".cells{point.cells}"
             flat[f"{stem}.weighted_jct"] = point.weighted_jct
             flat[f"{stem}.weighted_flow"] = point.weighted_flow
             flat[f"{stem}.makespan"] = point.makespan
@@ -139,6 +146,7 @@ def _run_cell(cell: Mapping) -> dict:
         switch_mode=SwitchMode(cell["switch_mode"]),
         arrivals=cell["arrivals"],
         kernel_backend=cell.get("kernel_backend", "auto"),
+        cells=cell.get("cells", 1),
         trace=False,
     )
     result = run_experiment(spec)
@@ -151,6 +159,7 @@ def _run_cell(cell: Mapping) -> dict:
         "weighted_flow": result.metrics.total_weighted_flow,
         "makespan": result.makespan,
         "simulated": result.sim is not None,
+        "cells": cell.get("cells", 1),
     }
 
 
@@ -176,26 +185,32 @@ def sweep(
     switch_mode: SwitchMode = SwitchMode.HARE,
     arrivals: str = "planned",
     kernel_backend: str = "auto",
+    cells: int | Sequence[int] = (1,),
     workers: int = 4,
 ) -> SweepResult:
-    """Run the seeds × schedulers × scales grid across worker processes.
+    """Run the seeds × schedulers × scales × cells grid across workers.
 
     ``seeds`` may be a count (→ ``range(seeds)``) or an explicit sequence;
     ``scales`` are cluster GPU counts (15 selects the paper's testbed mix,
-    as in :func:`repro.api.run_experiment`). ``workers <= 1`` runs the
-    grid serially in-process (still inside one planner scope). Cells are
-    sharded contiguously in seed-major order so one worker handles all
+    as in :func:`repro.api.run_experiment`); ``cells`` is the sharded-
+    scheduling axis (:mod:`repro.cells` — values above 1 require
+    ``arrivals="streaming"``). ``workers <= 1`` runs the grid serially
+    in-process (still inside one planner scope). Grid cells are sharded
+    contiguously in seed-major order so one worker handles all
     schedulers of a seed and its planner memo pays off.
 
-    Every cell is computed by the exact code path of a serial
+    Every grid cell is computed by the exact code path of a serial
     :func:`repro.api.run_experiment` call with the same arguments, so the
     returned metrics match serial runs exactly.
     """
     seed_list = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
+    cells_list = [cells] if isinstance(cells, int) else list(cells)
     if not seed_list:
         raise ValueError("sweep needs at least one seed")
     if not schedulers or not scales:
         raise ValueError("sweep needs at least one scheduler and one scale")
+    if not cells_list:
+        raise ValueError("sweep needs at least one cells value")
     grid: list[dict] = [
         {
             "seed": seed,
@@ -208,10 +223,12 @@ def sweep(
             "switch_mode": switch_mode.value,
             "arrivals": arrivals,
             "kernel_backend": kernel_backend,
+            "cells": cell_count,
         }
         for seed in seed_list
         for gpus in scales
         for scheduler in schedulers
+        for cell_count in cells_list
     ]
     indexed = list(enumerate(grid))
     workers = max(1, int(workers))
@@ -243,6 +260,8 @@ def sweep(
     }
     if kernel_backend != "auto":
         config["kernel_backend"] = kernel_backend
+    if cells_list != [1]:  # default grids keep byte-compatible manifests
+        config["cells"] = cells_list
     return SweepResult(points=points, config=config)
 
 

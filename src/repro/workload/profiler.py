@@ -102,6 +102,9 @@ class TaskProfiler:
     _rng: np.random.Generator = field(
         default_factory=lambda: np.random.default_rng(0)
     )
+    #: Per-GPU-model spec memo (scanning 10k+ devices per profile miss
+    #: would dominate instance construction at cluster scale).
+    _spec_cache: dict = field(default_factory=dict, repr=False)
 
     def reseed(self, seed: int) -> None:
         self._rng = np.random.default_rng(seed)
@@ -121,9 +124,13 @@ class TaskProfiler:
         # batch_scale scales the mini-batch, which scales GPU compute and
         # the input pipeline proportionally.
         tc = prof.batch_time(gpu_model) * batch_scale
-        gpu_spec = next(
-            d.spec for d in self.cluster.devices() if d.model == gpu_model
-        )
+        gpu_spec = self._spec_cache.get(gpu_model)
+        if gpu_spec is None:
+            gpu_spec = next(
+                d.spec for d in self.cluster.devices()
+                if d.model == gpu_model
+            )
+            self._spec_cache[gpu_model] = gpu_spec
         if self.sync_fabric == "ps":
             ts = self.cluster.network.sync_time(
                 spec.model_bytes, gpu_spec.pcie_bandwidth
@@ -214,20 +221,26 @@ def build_instance(
     profiler = profiler or TaskProfiler(cluster)
     gpu_models = cluster.gpu_models()
     n_jobs, n_gpus = len(jobs), len(gpu_models)
+    # Column indexes per GPU type, keyed in order of first appearance —
+    # so profile() is still called once per (job, type) in exactly the
+    # order the retired per-column loop used, keeping database traffic
+    # and noise-path RNG draws byte-identical while the per-column
+    # writes vectorize (O(jobs × types) instead of O(jobs × gpus)
+    # Python iterations; the 10k-GPU tier needs this).
+    type_cols: dict[GPUModel, list[int]] = {}
+    for m, gm in enumerate(gpu_models):
+        type_cols.setdefault(gm, []).append(m)
+    col_index = {gm: np.asarray(ms) for gm, ms in type_cols.items()}
     tc = np.empty((n_jobs, n_gpus))
     ts = np.empty((n_jobs, n_gpus))
     for n, job in enumerate(jobs):
-        per_type: dict[GPUModel, ProfileRecord] = {}
-        for m, gm in enumerate(gpu_models):
-            rec = per_type.get(gm)
-            if rec is None:
-                rec = profiler.profile(
-                    job.model, gm, job.batch_scale,
-                    sync_scale=job.sync_scale,
-                )
-                per_type[gm] = rec
-            tc[n, m] = rec.train_time
-            ts[n, m] = rec.sync_time
+        for gm, ms in col_index.items():
+            rec = profiler.profile(
+                job.model, gm, job.batch_scale,
+                sync_scale=job.sync_scale,
+            )
+            tc[n, ms] = rec.train_time
+            ts[n, ms] = rec.sync_time
     return ProblemInstance(
         jobs=list(jobs),
         train_time=tc,

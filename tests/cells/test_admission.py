@@ -1,0 +1,179 @@
+"""GlobalAdmission / throughput_matrix unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    Cell,
+    CellPartition,
+    CellPartitioner,
+    GlobalAdmission,
+    throughput_matrix,
+)
+from repro.core import Job, ProblemInstance
+from repro.core.errors import ConfigurationError, InfeasibleProblemError
+
+
+def _instance(
+    *, n_jobs=4, labels=("V100#0", "V100#1", "T4#2", "T4#3"), seed=0
+) -> ProblemInstance:
+    rng = np.random.default_rng(seed)
+    m = len(labels)
+    jobs = [
+        Job(
+            job_id=n,
+            model=f"m{n % 2}",
+            arrival=float(n),
+            num_rounds=2,
+            sync_scale=1,
+        )
+        for n in range(n_jobs)
+    ]
+    # Same-type columns identical, as the profile model guarantees.
+    per_type = {}
+    tc = np.empty((n_jobs, m))
+    ts = np.empty((n_jobs, m))
+    for col, lbl in enumerate(labels):
+        key = lbl.split("#")[0]
+        if key not in per_type:
+            per_type[key] = (
+                rng.uniform(0.5, 2.0, size=n_jobs),
+                rng.uniform(0.05, 0.2, size=n_jobs),
+            )
+        tc[:, col], ts[:, col] = per_type[key]
+    return ProblemInstance(
+        jobs=jobs, train_time=tc, sync_time=ts, gpu_labels=list(labels)
+    )
+
+
+def _two_cells() -> CellPartition:
+    return CellPartition(
+        num_gpus=4,
+        cells=(
+            Cell(index=0, gpu_ids=(0, 1)),
+            Cell(index=1, gpu_ids=(2, 3)),
+        ),
+    )
+
+
+class TestThroughputMatrix:
+    def test_matches_per_column_sum(self):
+        inst = _instance()
+        part = _two_cells()
+        rate = throughput_matrix(inst, part)
+        total = inst.train_time + inst.sync_time
+        for cell in part.cells:
+            expect = (1.0 / total[:, list(cell.gpu_ids)]).sum(axis=1)
+            np.testing.assert_allclose(rate[:, cell.index], expect)
+
+    def test_mixed_type_cell_uses_one_representative_per_type(self):
+        inst = _instance()
+        part = CellPartition(
+            num_gpus=4,
+            cells=(
+                Cell(index=0, gpu_ids=(0, 2)),  # one V100 + one T4
+                Cell(index=1, gpu_ids=(1, 3)),
+            ),
+        )
+        rate = throughput_matrix(inst, part)
+        total = inst.train_time + inst.sync_time
+        expect = 1.0 / total[:, 0] + 1.0 / total[:, 2]
+        np.testing.assert_allclose(rate[:, 0], expect)
+
+
+class TestAdmit:
+    def test_every_job_lands_on_exactly_one_cell(self):
+        inst = _instance(n_jobs=6)
+        plan = GlobalAdmission().admit(inst, _two_cells())
+        assert len(plan.assignment) == 6
+        assert all(c in (0, 1) for c in plan.assignment)
+        assert sorted(
+            n for c in (0, 1) for n in plan.jobs_in(c)
+        ) == list(range(6))
+
+    def test_decisions_follow_arrival_order_and_loads_add_up(self):
+        inst = _instance(n_jobs=5)
+        plan = GlobalAdmission().admit(inst, _two_cells())
+        arrivals = [inst.jobs[d.job_id].arrival for d in plan.decisions]
+        assert arrivals == sorted(arrivals)
+        for c in (0, 1):
+            assert plan.loads[c] == pytest.approx(
+                sum(d.work_s for d in plan.decisions if d.cell == c)
+            )
+
+    def test_round_robin_cycles_cells(self):
+        inst = _instance(n_jobs=4)
+        plan = GlobalAdmission(policy="round_robin").admit(
+            inst, _two_cells()
+        )
+        assert plan.assignment == (0, 1, 0, 1)
+
+    def test_least_loaded_balances_backlog(self):
+        inst = _instance(n_jobs=8)
+        plan = GlobalAdmission(policy="least_loaded").admit(
+            inst, _two_cells()
+        )
+        lo, hi = sorted(plan.loads)
+        assert hi <= lo + max(d.work_s for d in plan.decisions)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown admission"):
+            GlobalAdmission(policy="dice")
+
+    def test_wide_gang_skips_small_cells(self):
+        """round_robin must not place a 2-wide gang on a 1-GPU cell."""
+        inst = _instance(n_jobs=2)
+        inst = ProblemInstance(
+            jobs=[
+                Job(job_id=0, model="m0", num_rounds=1, sync_scale=2),
+                Job(
+                    job_id=1,
+                    model="m1",
+                    num_rounds=1,
+                    sync_scale=1,
+                    arrival=1.0,
+                ),
+            ],
+            train_time=inst.train_time[:2, :3],
+            sync_time=inst.sync_time[:2, :3],
+            gpu_labels=inst.gpu_labels[:3],
+        )
+        part = CellPartition(
+            num_gpus=3,
+            cells=(
+                Cell(index=0, gpu_ids=(0,)),
+                Cell(index=1, gpu_ids=(1, 2)),
+            ),
+        )
+        for policy in ("throughput", "least_loaded", "round_robin"):
+            plan = GlobalAdmission(policy=policy).admit(inst, part)
+            assert plan.assignment[0] == 1, policy
+
+    def test_gang_wider_than_every_cell_rejected(self):
+        """Satellite pin: a job whose sync_scale exceeds the largest
+        cell raises (strict_gang_schedule precedent) rather than being
+        silently truncated."""
+        inst = ProblemInstance(
+            jobs=[Job(job_id=0, model="m0", num_rounds=1, sync_scale=3)],
+            train_time=np.full((1, 4), 1.0),
+            sync_time=np.full((1, 4), 0.1),
+            gpu_labels=["V100#0", "V100#1", "V100#2", "V100#3"],
+        )
+        part = _two_cells()
+        with pytest.raises(
+            InfeasibleProblemError,
+            match=r"job 0 needs 3 simultaneous GPUs",
+        ):
+            GlobalAdmission().admit(inst, part)
+
+
+class TestPartitionerRoundTrip:
+    def test_gpu_type_partition_feeds_admission(self):
+        inst = _instance(n_jobs=5)
+        part = CellPartitioner(strategy="gpu_type").partition_instance(
+            inst
+        )
+        plan = GlobalAdmission().admit(inst, part)
+        assert len(plan.decisions) == 5

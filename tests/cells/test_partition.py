@@ -1,0 +1,180 @@
+"""CellPartitioner / CellPartition unit tests (DESIGN.md §16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import Cell, CellPartition, CellPartitioner
+from repro.cluster import make_cluster, scaled_cluster
+from repro.cluster import testbed_cluster as _testbed_cluster
+from repro.core import Job, ProblemInstance
+from repro.core.errors import ConfigurationError
+from repro.core.types import GPUModel
+
+
+def _labelled_instance(labels: list[str], n_jobs: int = 2) -> ProblemInstance:
+    jobs = [
+        Job(job_id=n, model=f"m{n}", num_rounds=1, sync_scale=1)
+        for n in range(n_jobs)
+    ]
+    m = len(labels)
+    return ProblemInstance(
+        jobs=jobs,
+        train_time=np.full((n_jobs, m), 1.0),
+        sync_time=np.full((n_jobs, m), 0.1),
+        gpu_labels=labels,
+    )
+
+
+class TestCell:
+    def test_rejects_empty_and_unordered_ids(self):
+        with pytest.raises(ConfigurationError):
+            Cell(index=0, gpu_ids=())
+        with pytest.raises(ConfigurationError):
+            Cell(index=0, gpu_ids=(3, 1))
+        with pytest.raises(ConfigurationError):
+            Cell(index=0, gpu_ids=(1, 1))
+
+    def test_num_gpus(self):
+        assert Cell(index=0, gpu_ids=(0, 2, 5)).num_gpus == 3
+
+
+class TestCellPartition:
+    def test_owner_map_and_sizes(self):
+        part = CellPartition(
+            num_gpus=5,
+            cells=(
+                Cell(index=0, gpu_ids=(0, 3)),
+                Cell(index=1, gpu_ids=(1, 2, 4)),
+            ),
+        )
+        assert part.num_cells == 2
+        assert part.sizes() == (2, 3)
+        assert [part.cell_of(m) for m in range(5)] == [0, 1, 1, 0, 1]
+
+    def test_rejects_gaps_overlaps_and_bad_indexes(self):
+        with pytest.raises(ConfigurationError, match="do not cover"):
+            CellPartition(
+                num_gpus=3, cells=(Cell(index=0, gpu_ids=(0, 2)),)
+            )
+        with pytest.raises(ConfigurationError, match="appears in cells"):
+            CellPartition(
+                num_gpus=2,
+                cells=(
+                    Cell(index=0, gpu_ids=(0, 1)),
+                    Cell(index=1, gpu_ids=(1,)),
+                ),
+            )
+        with pytest.raises(ConfigurationError, match="dense and ordered"):
+            CellPartition(
+                num_gpus=2, cells=(Cell(index=1, gpu_ids=(0, 1)),)
+            )
+
+    def test_cell_of_out_of_range(self):
+        part = CellPartition(
+            num_gpus=2, cells=(Cell(index=0, gpu_ids=(0, 1)),)
+        )
+        with pytest.raises(ConfigurationError):
+            part.cell_of(2)
+
+
+class TestBalancedStrategy:
+    def test_near_equal_contiguous_cover(self):
+        cluster = scaled_cluster(10)
+        part = CellPartitioner(cells=3).partition(cluster)
+        assert part.sizes() == (3, 3, 4)
+        flat = [m for cell in part.cells for m in cell.gpu_ids]
+        assert flat == list(range(10))
+
+    def test_subcluster_views_match_slices(self):
+        cluster = _testbed_cluster()
+        part = CellPartitioner(cells=4).partition(cluster)
+        parent = list(cluster.devices())
+        for cell in part.cells:
+            view = cell.cluster
+            assert view.num_gpus == cell.num_gpus
+            for j, gid in enumerate(cell.gpu_ids):
+                dev = list(view.devices())[j]
+                assert dev.gpu_id == j  # dense re-indexing
+                assert dev.model == parent[gid].model
+
+    def test_more_cells_than_gpus_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            CellPartitioner(cells=7).partition(scaled_cluster(4))
+
+
+class TestGpuTypeStrategy:
+    def test_one_cell_per_model_first_appearance_order(self):
+        cluster = make_cluster(
+            [GPUModel.V100, GPUModel.T4, GPUModel.V100, GPUModel.K80]
+        )
+        part = CellPartitioner(strategy="gpu_type").partition(cluster)
+        assert part.num_cells == 3
+        assert part.cells[0].gpu_ids == (0, 2)  # V100s
+        assert part.cells[1].gpu_ids == (1,)
+        assert part.cells[2].gpu_ids == (3,)
+
+    def test_explicit_count_must_match_types(self):
+        cluster = make_cluster([GPUModel.V100, GPUModel.T4])
+        with pytest.raises(ConfigurationError, match="2 GPU type"):
+            CellPartitioner(cells=3, strategy="gpu_type").partition(
+                cluster
+            )
+
+    def test_instance_labels_drive_grouping(self):
+        inst = _labelled_instance(["V100#0", "T4#1", "V100#2"])
+        part = CellPartitioner(strategy="gpu_type").partition_instance(
+            inst
+        )
+        assert part.num_cells == 2
+        assert part.cells[0].gpu_ids == (0, 2)
+        assert part.cells[0].cluster is None
+
+
+class TestFailureDomainStrategy:
+    def test_cells_never_split_a_node(self):
+        cluster = _testbed_cluster()
+        part = CellPartitioner(
+            cells=2, strategy="failure_domain"
+        ).partition(cluster)
+        node_of = {
+            g.gpu_id: node_idx
+            for node_idx, node in enumerate(cluster.nodes)
+            for g in node.gpus
+        }
+        for cell in part.cells:
+            nodes_here = {node_of[m] for m in cell.gpu_ids}
+            for other in part.cells:
+                if other.index != cell.index:
+                    assert nodes_here.isdisjoint(
+                        {node_of[m] for m in other.gpu_ids}
+                    )
+
+    def test_more_cells_than_nodes_rejected(self):
+        cluster = _testbed_cluster()
+        with pytest.raises(ConfigurationError, match="cells <= nodes"):
+            CellPartitioner(
+                cells=len(cluster.nodes) + 1, strategy="failure_domain"
+            ).partition(cluster)
+
+    def test_instance_only_partition_rejected(self):
+        inst = _labelled_instance(["V100#0", "V100#1"])
+        with pytest.raises(ConfigurationError, match="needs a Cluster"):
+            CellPartitioner(
+                cells=2, strategy="failure_domain"
+            ).partition_instance(inst)
+
+
+class TestPartitionerValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError, match="unknown cell"):
+            CellPartitioner(cells=2, strategy="zodiac")
+
+    def test_nonpositive_cells(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            CellPartitioner(cells=0)
+
+    def test_balanced_needs_explicit_count(self):
+        with pytest.raises(ConfigurationError, match="explicit cell"):
+            CellPartitioner(strategy="balanced")

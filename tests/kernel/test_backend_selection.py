@@ -1,0 +1,95 @@
+"""select_kernel_backend: the auto heuristic considers policy type.
+
+Regression pin for the measured array-kernel backend miss: the
+``online_replan`` bench arm showed the array loop at 0.74x the
+reference loop (the re-planning path is solver-bound, and the array
+batching only adds overhead there), yet ``auto`` used to pick the
+backend on task count alone. Policies now advertise
+``prefers_reference_backend`` and ``auto`` honors it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Job, ProblemInstance
+from repro.core.errors import ConfigurationError
+from repro.kernel import PlannedPolicy, run_policy, select_kernel_backend
+from repro.kernel.runner import ARRAY_KERNEL_TASK_LIMIT
+from repro.schedulers import HareScheduler, OnlineHarePolicy, SrtfScheduler
+
+
+def _instance(*, rounds: int) -> ProblemInstance:
+    jobs = [
+        Job(job_id=0, model="m0", num_rounds=rounds, sync_scale=1),
+        Job(job_id=1, model="m1", num_rounds=1, sync_scale=2, arrival=0.5),
+    ]
+    return ProblemInstance(
+        jobs=jobs,
+        train_time=np.array([[1.0, 2.0], [1.5, 1.0]]),
+        sync_time=np.full((2, 2), 0.1),
+    )
+
+
+SMALL = _instance(rounds=2)  # 4 tasks — under the array threshold
+BIG = _instance(rounds=ARRAY_KERNEL_TASK_LIMIT)  # over the threshold
+
+
+class TestSelectKernelBackend:
+    def test_explicit_choice_passes_through(self):
+        planned = PlannedPolicy(HareScheduler())
+        assert select_kernel_backend(planned, SMALL, "array") == "array"
+        assert (
+            select_kernel_backend(planned, BIG, "reference")
+            == "reference"
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="kernel_backend"):
+            select_kernel_backend(
+                PlannedPolicy(HareScheduler()), SMALL, "simd"
+            )
+
+    def test_auto_scales_on_task_count_for_planned_policies(self):
+        planned = PlannedPolicy(HareScheduler())
+        assert select_kernel_backend(planned, SMALL) == "reference"
+        assert select_kernel_backend(planned, BIG) == "array"
+
+    def test_auto_keeps_online_policies_on_the_reference_loop(self):
+        """The regression: a big instance alone must not push a policy
+        that re-plans online onto the array loop."""
+        online = OnlineHarePolicy(relaxation="fluid")
+        assert online.prefers_reference_backend
+        assert select_kernel_backend(online, BIG) == "reference"
+
+    def test_explicit_array_overrides_the_policy_hint(self):
+        online = OnlineHarePolicy(relaxation="fluid")
+        assert select_kernel_backend(online, BIG, "array") == "array"
+
+
+class TestRunPolicyDispatch:
+    def test_auto_never_builds_array_kernel_for_online_policy(
+        self, monkeypatch
+    ):
+        """Drop the task threshold to 1 so auto would always pick the
+        array loop on size, then poison the array kernel: an online
+        policy must still run (reference loop), a planned one must hit
+        the poison (array loop)."""
+        import repro.kernel.array as array_mod
+        import repro.kernel.runner as runner
+
+        class Poison:
+            def __init__(self, *a, **k):
+                raise AssertionError("array kernel built")
+
+        monkeypatch.setattr(runner, "ARRAY_KERNEL_TASK_LIMIT", 1)
+        monkeypatch.setattr(array_mod, "ArraySchedulingKernel", Poison)
+
+        result = run_policy(SMALL, OnlineHarePolicy(relaxation="fluid"))
+        assert len(result.schedule) == SMALL.num_tasks
+
+        with pytest.raises(AssertionError, match="array kernel built"):
+            run_policy(
+                SMALL, SrtfScheduler().make_policy(SMALL)
+            )

@@ -8,6 +8,7 @@ import pytest
 from repro import api
 from repro.obs import Severity, default_monitors, diagnose_schedule
 from repro.obs.monitors import (
+    CellImbalanceMonitor,
     CommitmentMonotonicityMonitor,
     GpuDoubleBookingMonitor,
     JobStarvationMonitor,
@@ -226,7 +227,7 @@ class TestReplay:
             "gpu_double_booking", "round_barrier",
             "commitment_monotonicity", "utilization_conservation",
             "replan_storm", "job_starvation", "utilization_collapse",
-            "rpc_budget_exhausted",
+            "rpc_budget_exhausted", "cell_load_imbalance",
         }
 
 
@@ -262,3 +263,81 @@ class TestChaosRuns:
         report = obs.recorder.diagnose(metrics=obs.metrics.snapshot())
         assert report.invariant_violations() == [], report.summary()
         assert report.records_seen > 0
+
+
+class TestCellImbalance:
+    """The sharded-scheduling load-imbalance detector."""
+
+    def _admit(self, seq, job, cell, work_s):
+        return instant(
+            seq, "sched", "cells.admit", "cells", float(job),
+            job=job, cell=cell, work_s=work_s,
+        )
+
+    def test_silent_without_cells_records(self):
+        mon = CellImbalanceMonitor()
+        mon.observe(span(0, "task", "gpu/0", 0.0, 1.0))
+        mon.finish(None)
+        assert mon.findings == []
+
+    def test_balanced_cells_stay_quiet(self):
+        mon = CellImbalanceMonitor()
+        for i in range(8):
+            mon.observe(self._admit(i, job=i, cell=i % 4, work_s=10.0))
+        mon.finish(None)
+        assert mon.findings == []
+
+    def test_skewed_cells_warn_once(self):
+        mon = CellImbalanceMonitor()
+        mon.observe(self._admit(0, job=0, cell=0, work_s=100.0))
+        for i in range(1, 4):
+            mon.observe(self._admit(i, job=i, cell=i, work_s=1.0))
+        mon.poll(None)
+        mon.poll(None)  # idempotent across repeated polls
+        mon.finish(None)
+        assert len(mon.findings) == 1
+        finding = mon.findings[0]
+        assert finding.severity is Severity.WARNING
+        assert finding.details["cell"] == 0
+        assert finding.details["cells"] == 4
+
+    def test_sharded_run_feeds_the_monitor(self):
+        """End to end: a deliberately skewed admission (every job on one
+        of two cells via round-robin over a 2-cell split where one cell
+        is too small for any gang) produces the finding from a real
+        ShardedKernel record stream."""
+        import numpy as np
+
+        from repro.cells import Cell, CellPartition, run_sharded
+        from repro.core import Job, ProblemInstance
+        from repro.obs import Obs, use
+
+        jobs = [
+            Job(
+                job_id=n, model=f"m{n % 2}", num_rounds=2, sync_scale=2,
+                arrival=float(n),
+            )
+            for n in range(6)
+        ]
+        inst = ProblemInstance(
+            jobs=jobs,
+            train_time=np.full((6, 3), 1.0),
+            sync_time=np.full((6, 3), 0.1),
+            gpu_labels=["V100#0", "V100#1", "V100#2"],
+        )
+        part = CellPartition(
+            num_gpus=3,
+            cells=(
+                Cell(index=0, gpu_ids=(0,)),  # too narrow for any gang
+                Cell(index=1, gpu_ids=(1, 2)),
+            ),
+        )
+        monitors = [CellImbalanceMonitor()]
+        with use(Obs.start(trace=False, record=True, monitors=monitors)):
+            run_sharded(inst, "srtf", partition=part)
+        report = collect_findings(monitors)
+        findings = [
+            f for f in report.findings if f.monitor == "cell_load_imbalance"
+        ]
+        assert len(findings) == 1
+        assert findings[0].details["cell"] == 1

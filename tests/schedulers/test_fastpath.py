@@ -202,7 +202,9 @@ class TestSweepMatchesSerial:
             seeds=(0, 1), schedulers=("hare",), scales=(6,),
             jobs=4, load=1.0, rounds_scale=0.1, workers=1,
         )
-        assert [p.key for p in serial] == [("Hare", 0, 6), ("Hare", 1, 6)]
+        assert [p.key for p in serial] == [
+            ("Hare", 0, 6, 1), ("Hare", 1, 6, 1),
+        ]
         metrics = serial.metrics()
         assert "sweep.Hare.seed0.gpus6.weighted_jct" in metrics
         assert "sweep.Hare.mean_makespan" in metrics

@@ -245,7 +245,7 @@ class TestDiagnosisAndRecorder:
         diagnosis = monitored_run.diagnosis
         assert diagnosis is not None
         assert diagnosis.records_seen > 0
-        assert len(diagnosis.monitors) == 8
+        assert len(diagnosis.monitors) == 9
         assert "rpc_budget_exhausted" in diagnosis.monitors
         assert diagnosis.invariant_violations() == []
 
