@@ -14,7 +14,10 @@ workload shapes and reports ``kernel_speedup_x`` (CI gates the
 ``gang_online`` arm at ≥10x). The ``sharded`` arm races cell-sharded
 scheduling (:mod:`repro.cells`) against flat Hare end to end at the
 10k-GPU / 5k-job tier and reports ``speedup_x`` plus the weighted-JCT
-band (CI's ``shard-smoke`` gates the speedup at ≥3x). CI's
+band (CI's ``shard-smoke`` gates the speedup at ≥3x). The
+``attrib_fractions`` arm runs the time-attribution engine on a
+crash-injected streaming run and drift-gates the per-category JCT
+shares. CI's
 ``bench-smoke`` job runs this and uploads the artifact; it is a smoke +
 trend probe, not a rigorous perf harness.
 
@@ -102,8 +105,12 @@ def bench_recorder_overhead(instance, policy_factory, *, repeats: int = 7) -> di
     Runs the same workload with tracing off and the recorder off/on,
     taking the best wall time of *repeats* for each arm, and reports
     ``overhead_frac`` — the relative events/sec drop with the recorder
-    enabled. ``repro check`` holds this under a hard 15 % limit.
+    enabled. The recorder arm carries a live attribution engine (the
+    way ``run_experiment(record=True)`` wires it), so the measured tax
+    includes the per-record attribution filtering. ``repro check``
+    holds this under a hard 15 % limit.
     """
+    from repro.obs.attrib import AttributionEngine
 
     def best_run(record: bool) -> tuple[float, object, int]:
         best_wall, best_result, records = float("inf"), None, 0
@@ -111,7 +118,10 @@ def bench_recorder_overhead(instance, policy_factory, *, repeats: int = 7) -> di
         with use(Obs.start(trace=False, record=record)):
             run_policy(instance, policy_factory())
         for _ in range(repeats):
-            with use(Obs.start(trace=False, record=record)) as obs:
+            monitors = [AttributionEngine(instance)] if record else None
+            with use(
+                Obs.start(trace=False, record=record, monitors=monitors)
+            ) as obs:
                 t0 = time.perf_counter()
                 result = run_policy(instance, policy_factory())
                 wall_s = time.perf_counter() - t0
@@ -131,6 +141,50 @@ def bench_recorder_overhead(instance, policy_factory, *, repeats: int = 7) -> di
         "events_per_sec_on": eps_on,
         "overhead_frac": max(0.0, 1.0 - eps_on / eps_off) if eps_off > 0 else 0.0,
         "records": records,
+    }
+
+
+def bench_attrib(instance) -> dict:
+    """Attribution fractions on a crash-injected streaming run.
+
+    Runs online Hare with the recorder and a live attribution engine, a
+    GPU crash at t=5 and a periodic re-plan timer, and reports the
+    per-category share of total JCT plus the worst per-job residual of
+    the sum-to-JCT invariant. The run is deterministic for a fixed
+    config+seed; the fractions sit under loose directed bands in
+    ``BENCH_TOLERANCES`` so a change that silently shifts blame between
+    categories (e.g. re-plan displacement read as queue wait) flags in
+    the drift gate.
+    """
+    import math
+
+    from repro.obs.attrib import COMPONENTS, AttributionEngine
+
+    engine = AttributionEngine(instance)
+    with use(Obs.start(trace=False, record=True, monitors=[engine])):
+        result = run_policy(
+            instance,
+            OnlineHarePolicy(relaxation="fluid"),
+            crashes=[(5.0, 1)],
+            replan_interval=2.0,
+        )
+    report = engine.report()
+    if report.check():
+        raise AssertionError(
+            f"attribution invariant violated: {report.check()}"
+        )
+    residual_max = max(
+        abs(math.fsum(j.components.values()) - j.jct) for j in report.jobs
+    )
+    return {
+        "jobs": len(report.jobs),
+        "events": result.events,
+        "retractions": report.retractions,
+        "replans": report.replans,
+        "total_jct_s": report.total_jct_s,
+        "sum_residual_max": residual_max,
+        "frac": {c: report.fractions()[c] for c in COMPONENTS},
+        "critical_path_makespan_s": report.critical_path["makespan"],
     }
 
 
@@ -450,6 +504,7 @@ ALL_ARMS: tuple[str, ...] = (
     "planned_hare",
     "online_hare",
     "recorder_overhead",
+    "attrib_fractions",
     "heal",
     "sched_throughput",
     "array_kernel",
@@ -495,6 +550,7 @@ def main(argv: list[str] | None = None) -> int:
         "recorder_overhead": lambda: bench_recorder_overhead(
             instance, lambda: OnlineHarePolicy(relaxation="fluid")
         ),
+        "attrib_fractions": lambda: bench_attrib(instance),
         "heal": lambda: bench_heal(instance),
         "sched_throughput": lambda: bench_sched_throughput(args.seed),
         "array_kernel": lambda: bench_array_kernel(args.seed),

@@ -22,7 +22,11 @@ It then tours the analysis stack on top of the raw events:
   trips the GPU double-booking invariant);
 * the **baseline engine** — direction-aware tolerance bands over the
   metrics snapshot (``repro check --baseline``), which CI uses to gate
-  on kernel-bench drift.
+  on kernel-bench drift;
+* the **time-attribution engine** — per-job JCT decomposition into
+  named causes and a cluster critical path (``repro explain``), here on
+  a crash-injected streaming run so fault recovery shows up in the
+  blame.
 
 Run:  python examples/observability_tour.py
 """
@@ -149,6 +153,50 @@ def main() -> None:
         print(f"  [{finding.severity.name}] {finding.message}")
     print(f"baseline written to {baseline_path}")
     print("  -> gate a re-run with: repro check --baseline", baseline_path.name)
+
+    # ------------------------------------------------------------------
+    # Time attribution: where did each job's completion time go? A
+    # streaming run with a GPU crash injected, decomposed per job and
+    # along the cluster critical path.
+    # ------------------------------------------------------------------
+    print("\n== Time attribution: why is my job slow? ==")
+    crashed = run_experiment(
+        gpus=8, jobs=10, scheduler="hare_online", seed=7,
+        rounds_scale=0.1, arrivals="streaming", record=True,
+        crashes=[(2.0, 1)], replan_interval=2.0, trace=False,
+    )
+    report = crashed.attribution()
+    assert report.check() == []  # components sum to JCT within 1e-9
+    print(
+        f"{len(report.jobs)} jobs, total JCT {report.total_jct_s:.1f} s, "
+        f"{report.retractions} retraction(s)"
+    )
+    rows = []
+    for frac_name, frac in sorted(
+        report.fractions().items(), key=lambda kv: -kv[1]
+    ):
+        if frac > 0:
+            rows.append([frac_name, f"{report.totals[frac_name]:.2f} s",
+                         f"{frac * 100:.1f}%"])
+    print(render_table(["component", "seconds", "share"], rows))
+    worst = max(report.jobs, key=lambda j: j.jct)
+    dominant = max(worst.components, key=lambda c: worst.components[c])
+    print(
+        f"slowest job {worst.job_id}: JCT {worst.jct:.2f} s, "
+        f"dominated by {dominant} "
+        f"({worst.components[dominant]:.2f} s)"
+    )
+    cp = report.critical_path
+    print(
+        f"critical path: makespan {cp['makespan']:.2f} s across "
+        f"{len(cp['segments'])} segment(s); blame "
+        + ", ".join(
+            f"{k}={v:.2f}s" for k, v in sorted(cp["blame"].items()) if v > 0
+        )
+    )
+    attrib_path = crashed.write_attribution(out / "attribution.json")
+    print(f"attribution written to {attrib_path}")
+    print("  -> diff two runs with: repro explain --diff base.json cand.json")
 
 
 if __name__ == "__main__":

@@ -51,6 +51,13 @@ from .obs import (
     write_manifest as _write_manifest_file,
     write_trace as _write_trace_file,
 )
+from .obs.attrib import (
+    AttributionEngine,
+    AttributionReport,
+    attribute_records,
+    attribute_schedule,
+    write_attribution,
+)
 from .obs.baseline import snapshot_baseline, write_baseline
 from .obs.monitors import DiagnosisReport, default_monitors
 from .schedulers import Scheduler, create_from_spec
@@ -241,6 +248,9 @@ class RunResult:
     diagnosis: DiagnosisReport | None = None
     #: Remediation log when the run self-healed (``heal=True``).
     remediation: RemediationLog | None = None
+    #: Cached attribution report (filled eagerly on recorded streaming
+    #: runs; computed lazily by :meth:`attribution` otherwise).
+    _attribution: AttributionReport | None = None
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -356,6 +366,46 @@ class RunResult:
             ),
             path,
         )
+
+    def attribution(self) -> AttributionReport:
+        """Where this run's time went (:mod:`repro.obs.attrib`).
+
+        Per-job JCT decomposition, cluster critical path, and per-cell
+        residency as an :class:`~repro.obs.attrib.AttributionReport`
+        (schema ``repro.attrib/1``). Recorded streaming runs are
+        attributed from the kernel's ``kernel.round`` commit stream;
+        planned or unrecorded runs fall back to decomposing the
+        committed schedule directly. The report is cached.
+        """
+        if self._attribution is not None:
+            return self._attribution
+        report = None
+        if self.obs.recorder is not None:
+            records = self.obs.recorder.records()
+            if any(
+                r.kind == "instant" and r.name == "kernel.round"
+                for r in records
+            ):
+                report = attribute_records(
+                    records, instance=self.instance
+                )
+        if report is None:
+            admission = getattr(self.kernel, "admission_plan", None)
+            report = attribute_schedule(
+                self.plan,
+                instance=self.instance,
+                cells=(
+                    admission.assignment
+                    if admission is not None
+                    else None
+                ),
+            )
+        self._attribution = report
+        return report
+
+    def write_attribution(self, path: str | Path) -> Path:
+        """Write the attribution report as ``repro.attrib/1`` JSON."""
+        return write_attribution(self.attribution(), path)
 
     def write_flight_log(self, path: str | Path) -> Path:
         """Dump the flight recorder's history as schema-versioned JSONL."""
@@ -522,6 +572,12 @@ def _run_one(
             else None
         ),
     )
+    attrib_engine = None
+    if obs.recorder is not None:
+        # Silent stream consumer: rides the recorder sink, never
+        # participates in diagnosis, ring-eviction-proof.
+        attrib_engine = AttributionEngine(instance)
+        obs.recorder.attach(attrib_engine)
     kernel_result: KernelResult | None = None
     with use(obs):
         if arrivals == "streaming" and cells > 1:
@@ -573,6 +629,9 @@ def _run_one(
         )
     if engine is not None:
         result.remediation = engine.log
+    if attrib_engine is not None and kernel_result is not None:
+        result._attribution = attrib_engine.report()
+        result._attribution.publish(obs.metrics)
     return result
 
 

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.errors import ConfigurationError, InfeasibleProblemError
+from ..obs import current as obs_current
 from .partition import CellPartition, _type_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -106,6 +107,14 @@ class GlobalAdmission:
     All policies reject a job whose ``sync_scale`` exceeds every cell
     (the gang cannot be split across cells), mirroring the
     ``strict_gang_schedule`` precedent instead of silently truncating.
+
+    Every admission publishes the chosen cell's running backlog as a
+    ``cells.cell{c}.admitted_load_s`` gauge, sampled at the job's
+    arrival into the ambient :class:`~repro.obs.MetricsRegistry`
+    timeline — so Perfetto shows per-cell admitted load as counter
+    tracks, and consumers (the future cross-cell rebalancer) read the
+    same telemetry the admission decisions were made on instead of
+    private bookkeeping. No-ops outside an observability context.
     """
 
     policy: str = "throughput"
@@ -122,6 +131,7 @@ class GlobalAdmission:
     ) -> AdmissionPlan:
         rate = throughput_matrix(instance, partition)
         sizes = partition.sizes()
+        metrics = obs_current().metrics
         loads = [0.0] * partition.num_cells
         assignment = [-1] * instance.num_jobs
         decisions: list[AdmissionDecision] = []
@@ -163,6 +173,9 @@ class GlobalAdmission:
                 score = loads[best] + tasks / rate[n, best]
             work = float(tasks / rate[n, best])
             loads[best] += work
+            name = f"cells.cell{best}.admitted_load_s"
+            metrics.gauge(name).set(loads[best])
+            metrics.sample(name, job.arrival)
             assignment[n] = best
             decisions.append(
                 AdmissionDecision(

@@ -36,8 +36,8 @@ from ..core.job import ProblemInstance
 from ..core.metrics import metrics_from_schedule
 from ..core.schedule import Schedule, TaskAssignment
 from ..core.types import TaskRef
-from ..kernel.residual import planner_scope
-from ..kernel.runner import KernelResult, run_policy
+from ..kernel.residual import KERNEL_TRACK, planner_scope
+from ..kernel.runner import KernelResult, best_round_time, run_policy
 from ..obs import Category, DISABLED, current as obs_current, use
 from .admission import AdmissionPlan, GlobalAdmission
 from .partition import Cell, CellPartition, CellPartitioner
@@ -308,6 +308,9 @@ class ShardedKernel:
         obs.metrics.counter("kernel.events").inc(events)
         obs.metrics.counter("kernel.commitments").inc(commitments)
 
+        if obs.tracer.enabled:
+            self._emit_merged_rounds(obs, merged)
+
         return ShardedKernelResult(
             partition=partition,
             admission_plan=plan,
@@ -319,6 +322,52 @@ class ShardedKernel:
             replans=replans,
             retracted_rounds=retracted,
         )
+
+    def _emit_merged_rounds(self, obs, merged: Schedule) -> None:
+        """Merged-clock ``kernel.round`` stream for the attribution engine.
+
+        The per-cell kernels run under the DISABLED context (worker
+        discipline), so their commit instants never reach the global
+        obs; this replays the merged schedule's rounds onto the logical
+        clock — one instant per ``(job, round)``, ordered by round end,
+        with **global** GPU ids and ``best`` over the whole cluster's
+        profile row, so cell confinement surfaces as heterogeneity
+        penalty in the attribution.
+        """
+        by_round: dict[tuple[int, int], list[TaskAssignment]] = {}
+        for a in merged.assignments.values():
+            key = (a.task.job_id, a.task.round_idx)
+            by_round.setdefault(key, []).append(a)
+        best_cache: dict[int, float] = {}
+        rounds = []
+        for (job_id, r), tasks in by_round.items():
+            crit = tasks[0]
+            for a in tasks[1:]:
+                if a.end > crit.end:
+                    crit = a
+            rounds.append(
+                (crit.end, job_id, r, min(a.start for a in tasks), crit)
+            )
+        rounds.sort(key=lambda item: (item[0], item[1], item[2]))
+        for end, job_id, r, start, crit in rounds:
+            best = best_cache.get(job_id)
+            if best is None:
+                best = best_cache[job_id] = best_round_time(
+                    self.instance, job_id
+                )
+            obs.tracer.instant(
+                Category.SCHED,
+                "kernel.round",
+                track=KERNEL_TRACK,
+                time=float(end),
+                job=int(job_id),
+                round=int(r),
+                start=float(start),
+                end=float(end),
+                gpu=int(crit.gpu),
+                busy=float(crit.train_time + crit.sync_time),
+                best=best,
+            )
 
 
 def run_sharded(

@@ -10,6 +10,10 @@ Usage (``python -m repro ...``)::
     python -m repro replay   flight.jsonl --category sim --monitors
     python -m repro heal     --jobs 16 --seed 7 --replan-interval 0.25 \
                              --out remediation.json
+    python -m repro explain  --jobs 16 --seed 7 --crash 5:2 \
+                             --out attribution.json
+    python -m repro explain  --flight-log flight.jsonl
+    python -m repro explain  --diff base_attrib.json cand_attrib.json
     python -m repro check    --baseline benchmarks/out/BENCH_kernel.json \
                              --candidate artifacts/BENCH_kernel.json
     python -m repro table3
@@ -38,6 +42,15 @@ changed (re-plans throttled, weights boosted, GPUs quarantined), writing
 the ``repro.remediation/1`` log with ``--out`` and exiting non-zero when
 ERROR findings were left unremediated. ``chaos --heal`` attaches the same
 engine to a fault-injection run.
+
+``explain`` answers *why*: it attributes every job's JCT to queue wait /
+compute / heterogeneity penalty / sync stall / switching / replan churn /
+fault recovery (:mod:`repro.obs.attrib`), extracts the cluster critical
+path with per-category blame, and — with ``--diff BASE CAND`` — shows
+which component a regression came from. Works on a fresh run, on a
+recorded flight log (``--flight-log``), or on two saved
+``repro.attrib/1`` reports; exits non-zero if the components fail the
+sum-to-JCT invariant.
 """
 
 from __future__ import annotations
@@ -453,6 +466,200 @@ def cmd_heal(args: argparse.Namespace) -> int:
                 f"  [ERROR unremediated] {finding.monitor}: "
                 f"{finding.message}"
             )
+        return 1
+    return 0
+
+
+def _print_attribution(report, *, top: int = 10) -> None:
+    from .obs.attrib import COMPONENTS
+
+    rows = []
+    slowest = sorted(report.jobs, key=lambda j: (-j.jct, j.job_id))[:top]
+    for j in slowest:
+        comp = j.components
+        other = (
+            comp["switch_overhead"]
+            + comp["replan_overhead"]
+            + comp["fault_recovery"]
+        )
+        dominant = max(COMPONENTS, key=lambda c: (comp[c], c))
+        rows.append(
+            [
+                j.job_id,
+                "-" if j.cell is None else j.cell,
+                j.rounds,
+                j.jct,
+                comp["queue_wait"],
+                comp["compute"],
+                comp["hetero_penalty"],
+                comp["sync_stall"],
+                other,
+                dominant,
+            ]
+        )
+    print(
+        render_table(
+            ["job", "cell", "rounds", "JCT (s)", "queue", "compute",
+             "hetero", "stall", "other", "dominant"],
+            rows,
+            title=(
+                f"slowest {len(rows)} of {len(report.jobs)} jobs "
+                f"(total JCT {report.total_jct_s:.1f}s, "
+                f"{report.replans} replans, "
+                f"{report.retractions} retractions)"
+            ),
+            float_fmt="{:.2f}",
+        )
+    )
+    fractions = report.fractions()
+    print("where the JCT went:")
+    for c in COMPONENTS:
+        if report.totals[c] > 0.0:
+            print(
+                f"  {c:<16} {report.totals[c]:10.2f}s  "
+                f"{100 * fractions[c]:5.1f}%"
+            )
+    cp = report.critical_path
+    print(
+        f"critical path: makespan {cp['makespan']:.2f}s from "
+        f"t={cp['origin']:.2f} across {len(cp['segments'])} segment(s)"
+    )
+    for c, v in sorted(cp["blame"].items(), key=lambda kv: -kv[1]):
+        if v > 0.0:
+            print(f"  blame {c:<16} {v:10.2f}s")
+    if report.cell_residency:
+        residency = ", ".join(
+            f"cell {c}: {report.cell_residency[c]:.1f}s"
+            for c in sorted(report.cell_residency)
+        )
+        print(f"per-cell resident JCT: {residency}")
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Attribute where a run's time went (or diff two attributions)."""
+    import math
+
+    from .obs.attrib import (
+        COMPONENTS,
+        attribute_records,
+        load_attribution,
+        write_attribution,
+    )
+
+    if args.diff:
+        try:
+            base = load_attribution(args.diff[0])
+            cand = load_attribution(args.diff[1])
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load attribution report: {exc}", file=sys.stderr)
+            return 2
+        delta = cand.diff(base)
+        rows = [
+            [c, base.totals[c], cand.totals[c],
+             delta["component_delta_s"][c]]
+            for c in COMPONENTS
+            if base.totals[c] or cand.totals[c]
+        ]
+        rows.append(
+            ["total JCT", base.total_jct_s, cand.total_jct_s,
+             delta["total_jct_delta_s"]]
+        )
+        print(
+            render_table(
+                ["component", "baseline (s)", "candidate (s)", "delta (s)"],
+                rows,
+                title=(
+                    f"attribution diff: {args.diff[1]} vs {args.diff[0]} "
+                    f"(makespan delta "
+                    f"{delta['makespan_delta_s']:+.2f}s)"
+                ),
+                float_fmt="{:.2f}",
+            )
+        )
+        drift = abs(
+            delta["total_jct_delta_s"]
+            - math.fsum(delta["component_delta_s"].values())
+        )
+        if args.out:
+            import json as _json
+            from pathlib import Path
+
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(
+                _json.dumps(delta, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"attribution diff written to {out}", file=sys.stderr)
+        if drift > 1e-6:
+            print(
+                f"component deltas drift from the JCT delta by {drift!r}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.flight_log:
+        from .obs import load_flight_log
+
+        try:
+            records = load_flight_log(args.flight_log)
+            report = attribute_records(records)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load flight log: {exc}", file=sys.stderr)
+            return 2
+        if records and not report.jobs:
+            print(
+                f"{args.flight_log}: {len(records)} records but no "
+                "kernel.round instants — attribution needs a streaming "
+                "run (repro record --arrivals streaming ...)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        cluster = _cluster(args)
+        jobs = _workload(args)
+        try:
+            scheduler = create_scheduler(args.scheduler)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        crashes = None
+        if args.crash:
+            crashes = []
+            for spec in args.crash:
+                time, gpu = spec.split(":")
+                crashes.append((float(time), int(gpu)))
+        try:
+            r = api.run_experiment(
+                cluster=cluster,
+                workload=jobs,
+                scheduler=scheduler,
+                seed=args.seed,
+                load=args.load,
+                rounds_scale=args.rounds_scale,
+                simulate=False,
+                trace=False,
+                arrivals=args.arrivals,
+                record=args.arrivals == "streaming",
+                crashes=crashes,
+                replan_interval=args.replan_interval,
+                kernel_backend=getattr(args, "kernel_backend", "auto"),
+                cells=getattr(args, "cells", 1),
+                cell_strategy=getattr(args, "cell_strategy", "balanced"),
+                admission=getattr(args, "admission", "throughput"),
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        report = r.attribution()
+    problems = report.check()
+    _print_attribution(report, top=args.top)
+    if args.out:
+        path = write_attribution(report, args.out)
+        print(f"attribution written to {path}", file=sys.stderr)
+    if problems:
+        for problem in problems[:10]:
+            print(f"  [ERROR] {problem}", file=sys.stderr)
         return 1
     return 0
 
@@ -922,6 +1129,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_heal.add_argument("--out", metavar="JSON",
                         help="write the repro.remediation/1 log here")
     p_heal.set_defaults(func=cmd_heal)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="attribute where a run's time went: per-job JCT "
+             "decomposition, cluster critical path, and diffs between "
+             "two saved attributions",
+    )
+    add_workload_args(p_explain)
+    p_explain.set_defaults(arrivals="streaming")
+    p_explain.add_argument("--scheduler", default="hare_online",
+                           help="registry key (default: hare_online)")
+    p_explain.add_argument("--crash", action="append", default=[],
+                           metavar="TIME:GPU",
+                           help="permanent GPU crash fed to the kernel "
+                                "(repeatable; streaming only)")
+    p_explain.add_argument("--replan-interval", type=float, default=None,
+                           help="periodic REPLAN_TIMER period (s)")
+    p_explain.add_argument("--flight-log", metavar="JSONL",
+                           dest="flight_log",
+                           help="attribute a recorded flight log instead "
+                                "of running an experiment")
+    p_explain.add_argument("--diff", nargs=2, metavar=("BASE", "CAND"),
+                           help="diff two saved repro.attrib/1 reports "
+                                "(deltas are CAND - BASE)")
+    p_explain.add_argument("--out", metavar="JSON",
+                           help="write the repro.attrib/1 report (or the "
+                                "repro.attrib-diff/1 document) here")
+    p_explain.add_argument("--top", type=int, default=10,
+                           help="slowest jobs to print (default: 10)")
+    p_explain.set_defaults(func=cmd_explain)
 
     p_record = sub.add_parser(
         "record",

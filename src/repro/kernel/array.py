@@ -66,7 +66,7 @@ from ..obs import Category, current as obs_current
 from .events import Event, KernelEventType
 from .policies import GangPolicy, PlannedPolicy, Policy
 from .residual import KERNEL_TRACK
-from .runner import KernelResult
+from .runner import KernelResult, best_round_time
 from .state import KERNEL_EPS, Commitment, KernelState
 
 __all__ = ["ArraySchedulingKernel"]
@@ -331,14 +331,41 @@ class ArraySchedulingKernel:
         obs_current().metrics.counter("kernel.retractions").inc()
 
     # -- commitment application -----------------------------------------
-    def _finish_commitment(self, phi_before, horizon, touched_jobs):
-        """Shared tail: free wake-ups, instants, counters (reference order)."""
+    def _finish_commitment(
+        self, phi_before, horizon, touched_jobs, round_infos=None
+    ):
+        """Shared tail: free wake-ups, instants, counters (reference order).
+
+        *round_infos* — built by the commit paths only when the tracer is
+        enabled — is a list of ``(job, round, start, end, gpu, busy)``
+        tuples, rounds ascending per job, emitted as ``kernel.round``
+        instants before each job's ``kernel.commit`` (the reference
+        loop's emission order).
+        """
         state = self.state
         obs = obs_current()
         phi = state.phi
         for m in np.flatnonzero(phi > phi_before + KERNEL_EPS).tolist():
             self._wake(phi[m], _FREE, m, 0)
         for job_id in sorted(touched_jobs):
+            if round_infos is not None:
+                best = best_round_time(self.instance, job_id)
+                for j, r, rs, re_, g, busy in round_infos:
+                    if j != job_id:
+                        continue
+                    obs.tracer.instant(
+                        Category.SCHED,
+                        "kernel.round",
+                        track=KERNEL_TRACK,
+                        time=state.now,
+                        job=j,
+                        round=r,
+                        start=rs,
+                        end=re_,
+                        gpu=g,
+                        busy=busy,
+                        best=best,
+                    )
             obs.tracer.instant(
                 Category.SCHED,
                 "kernel.commit",
@@ -412,7 +439,27 @@ class ArraySchedulingKernel:
             for m, release in commitment.gpu_release.items():
                 if phi[m] < release:
                     phi[m] = release
-        self._finish_commitment(phi_before, horizon, touched_jobs)
+        round_infos = None
+        if obs_current().tracer.enabled:
+            round_infos = []
+            for job_id in sorted(touched_jobs):
+                jm = jobc == job_id
+                for r in sorted(set(rndc[jm].tolist())):
+                    idxs = np.flatnonzero(jm & (rndc == r))
+                    # argmax keeps the first max — the reference loop's
+                    # strict `>` scan over assignment order.
+                    k = int(idxs[int(np.argmax(endc[idxs]))])
+                    round_infos.append((
+                        job_id,
+                        int(r),
+                        float(startc[idxs].min()),
+                        float(endc[k]),
+                        int(gpus[k]),
+                        float(trainc[k] + syncc[k]),
+                    ))
+        self._finish_commitment(
+            phi_before, horizon, touched_jobs, round_infos
+        )
 
     # -- planned fast path ----------------------------------------------
     def _detect_fast_path(self) -> str | None:
@@ -493,7 +540,18 @@ class ArraySchedulingKernel:
         state.ready_at[job_id] = horizon
         if done + 1 < job.num_rounds:
             self._wake(horizon, _BARRIER, job_id, round_idx)
-        self._finish_commitment(phi_before, horizon, {job_id})
+        round_infos = None
+        if obs_current().tracer.enabled:
+            i = int(np.argmax(end))
+            round_infos = [(
+                job_id,
+                round_idx,
+                float(start.min()),
+                float(end[i]),
+                int(gpus[i]),
+                float(train[i] + sync[i]),
+            )]
+        self._finish_commitment(phi_before, horizon, {job_id}, round_infos)
 
     # -- gang fast path --------------------------------------------------
     def _gang_commit(self, job_id: int, gpus, start: float) -> None:
@@ -554,8 +612,23 @@ class ArraySchedulingKernel:
         horizon = float(end_col.max())
         state.rounds_done[job_id] = num_rounds
         state.ready_at[job_id] = float(end_col[-scale:].max())
+        round_infos = None
+        if obs_current().tracer.enabled:
+            round_infos = []
+            for r in range(num_rounds):
+                lo = r * scale
+                hi = lo + scale
+                k = lo + int(np.argmax(end_col[lo:hi]))
+                round_infos.append((
+                    job_id,
+                    r,
+                    float(start_col[lo:hi].min()),
+                    float(end_col[k]),
+                    int(gpu_col[k]),
+                    float(train_col[k] + sync_col[k]),
+                ))
         # All rounds committed: no barrier wake-up (matches reference).
-        self._finish_commitment(phi_before, horizon, {job_id})
+        self._finish_commitment(phi_before, horizon, {job_id}, round_infos)
 
     # -- bulk passive skip -----------------------------------------------
     def _bulk_skip(self, passive) -> list:

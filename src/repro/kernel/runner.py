@@ -122,6 +122,21 @@ class KernelResult:
         )
 
 
+def best_round_time(instance: ProblemInstance, job_id: int) -> float:
+    """Fastest profiled single-round time of *job_id* on any GPU.
+
+    ``min_m (t^c_{n,m} + t^s_{n,m})`` over the instance's profile
+    matrices — the round time the job would see on its best GPU. This is
+    the ``best`` reference emitted with every ``kernel.round`` instant,
+    the yardstick the attribution engine (:mod:`repro.obs.attrib`) uses
+    to split a round's span into compute vs. heterogeneity penalty. Both
+    kernel backends call this one helper so the float is bit-identical.
+    """
+    return float(
+        (instance.train_time[job_id] + instance.sync_time[job_id]).min()
+    )
+
+
 def _event_args(event: Event) -> dict:
     """Structured args for an event's kernel-track instant."""
     if event.type == KernelEventType.JOB_ARRIVED:
@@ -362,6 +377,43 @@ class SchedulingKernel:
             if state.phi[m] > before + KERNEL_EPS:
                 self._wake(state.phi[m], KernelEventType.GPU_FREE, m)
         for job_id in sorted(touched_jobs):
+            if obs.tracer.enabled:
+                # One attribution instant per newly committed round:
+                # span bounds, the critical (barrier-setting) task's GPU
+                # and busy time, and the best-profiled round time. The
+                # array backend mirrors these byte-for-byte.
+                rounds = sorted(
+                    {
+                        a.task.round_idx
+                        for a in commitment.assignments
+                        if a.task.job_id == job_id
+                    }
+                )
+                best = best_round_time(self.instance, job_id)
+                for r in rounds:
+                    tasks = [
+                        a
+                        for a in commitment.assignments
+                        if a.task.job_id == job_id
+                        and a.task.round_idx == r
+                    ]
+                    crit = tasks[0]
+                    for a in tasks[1:]:
+                        if a.end > crit.end:
+                            crit = a
+                    obs.tracer.instant(
+                        Category.SCHED,
+                        "kernel.round",
+                        track=KERNEL_TRACK,
+                        time=state.now,
+                        job=job_id,
+                        round=r,
+                        start=float(min(a.start for a in tasks)),
+                        end=float(crit.end),
+                        gpu=int(crit.gpu),
+                        busy=float(crit.train_time + crit.sync_time),
+                        best=best,
+                    )
             obs.tracer.instant(
                 Category.SCHED,
                 "kernel.commit",

@@ -22,7 +22,10 @@ On top of that substrate sits the continuous-observability stack
   :class:`DiagnosisReport`;
 * :mod:`~repro.obs.baseline` — the cross-run regression engine
   (schema-versioned metric baselines, direction-aware tolerance bands,
-  ``repro check --baseline``).
+  ``repro check --baseline``);
+* :mod:`~repro.obs.attrib` — the time-attribution engine: per-job JCT
+  decomposition, cluster critical path, and attribution diffs
+  (schema ``repro.attrib/1``, ``repro explain``).
 
 Instrumented code reads the ambient context (:func:`current`) and emits
 unconditionally; :func:`use` installs a live :class:`Obs` for a run's
@@ -30,6 +33,19 @@ extent. Tracing is **off by default** — outside ``use`` the context is
 :data:`DISABLED` and every emission is a no-op.
 """
 
+from .attrib import (
+    ATTRIB_DIFF_SCHEMA,
+    ATTRIB_SCHEMA,
+    COMPONENTS,
+    AttributionEngine,
+    AttributionReport,
+    JobAttribution,
+    attribute_flight_log,
+    attribute_records,
+    attribute_schedule,
+    load_attribution,
+    write_attribution,
+)
 from .baseline import (
     BASELINE_SCHEMA,
     Tolerance,
@@ -79,7 +95,12 @@ from .trace import (
 )
 
 __all__ = [
+    "ATTRIB_DIFF_SCHEMA",
+    "ATTRIB_SCHEMA",
+    "AttributionEngine",
+    "AttributionReport",
     "BASELINE_SCHEMA",
+    "COMPONENTS",
     "Category",
     "Counter",
     "DISABLED",
@@ -91,6 +112,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "JobAttribution",
     "MetricsRegistry",
     "Monitor",
     "NULL_REGISTRY",
@@ -105,6 +127,9 @@ __all__ = [
     "Tolerance",
     "Tracer",
     "WallSpan",
+    "attribute_flight_log",
+    "attribute_records",
+    "attribute_schedule",
     "build_manifest",
     "chrome_trace",
     "compare_bench_reports",
@@ -114,6 +139,7 @@ __all__ = [
     "diagnose_schedule",
     "gpu_track",
     "job_track",
+    "load_attribution",
     "load_flight_log",
     "read_baseline",
     "read_manifest",
@@ -122,6 +148,7 @@ __all__ = [
     "trace_json",
     "use",
     "validate_chrome_trace",
+    "write_attribution",
     "write_baseline",
     "write_manifest",
     "write_trace",

@@ -862,7 +862,15 @@ def collect_findings(
     metrics: Mapping | None = None,
     extra: Iterable[Finding] = (),
 ) -> DiagnosisReport:
-    """Finish *monitors* and assemble the report, worst findings first."""
+    """Finish *monitors* and assemble the report, worst findings first.
+
+    Stream consumers that declare ``silent = True`` (e.g. the
+    attribution engine) ride the recorder sink without participating in
+    diagnosis — they are neither finished nor listed.
+    """
+    monitors = [
+        m for m in monitors if not getattr(m, "silent", False)
+    ]
     ctx = DiagnosisContext(instance=instance, metrics=metrics)
     findings: list[Finding] = list(extra)
     for monitor in monitors:

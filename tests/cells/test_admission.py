@@ -169,6 +169,71 @@ class TestAdmit:
             GlobalAdmission().admit(inst, part)
 
 
+class TestAdmittedLoadTelemetry:
+    """Satellite pin (ISSUE 9): every admission publishes the chosen
+    cell's running backlog as a ``cells.cell{c}.admitted_load_s`` gauge
+    into the ambient MetricsRegistry, and routing decisions agree with
+    the telemetry a consumer would read."""
+
+    def _admit_with_metrics(self, inst, part, policy):
+        from repro.obs import Obs, use
+
+        obs = Obs.start(trace=False)
+        with use(obs):
+            plan = GlobalAdmission(policy=policy).admit(inst, part)
+        return plan, obs.metrics
+
+    def test_final_gauges_equal_plan_loads(self):
+        inst = _instance(n_jobs=8)
+        part = _two_cells()
+        plan, metrics = self._admit_with_metrics(inst, part, "throughput")
+        snap = metrics.snapshot()
+        for c in (0, 1):
+            gauge = snap[f"cells.cell{c}.admitted_load_s"]
+            assert gauge["type"] == "gauge"
+            assert gauge["value"] == pytest.approx(plan.loads[c])
+
+    def test_least_loaded_routing_agrees_with_gauges(self):
+        """Replaying the published timeline step by step must predict
+        every least_loaded decision: the policy and the telemetry see
+        the same backlog."""
+        inst = _instance(n_jobs=8)
+        part = _two_cells()
+        plan, metrics = self._admit_with_metrics(
+            inst, part, "least_loaded"
+        )
+        timeline = metrics.timeline()
+        series = {
+            c: list(timeline.get(f"cells.cell{c}.admitted_load_s", []))
+            for c in (0, 1)
+        }
+        loads = {0: 0.0, 1: 0.0}
+        for d in plan.decisions:
+            # the decision picked the (load, index)-minimal cell as
+            # reconstructed from the published samples so far
+            assert d.cell == min(
+                loads, key=lambda c: (loads[c], c)
+            )
+            assert d.score == pytest.approx(loads[d.cell])
+            t, value = series[d.cell].pop(0)
+            assert t == inst.jobs[d.job_id].arrival
+            loads[d.cell] = value
+        assert all(not rest for rest in series.values())
+
+    def test_disabled_obs_publishes_nothing(self):
+        """Outside an observability context admission stays silent —
+        the DISABLED registry swallows the gauges (sharded workers rely
+        on this)."""
+        inst = _instance(n_jobs=4)
+        plan, metrics = self._admit_with_metrics(
+            inst, _two_cells(), "throughput"
+        )
+        assert len(plan.decisions) == 4
+        plain = GlobalAdmission().admit(inst, _two_cells())
+        assert plain.assignment == plan.assignment
+        assert plain.loads == plan.loads
+
+
 class TestPartitionerRoundTrip:
     def test_gpu_type_partition_feeds_admission(self):
         inst = _instance(n_jobs=5)

@@ -1,0 +1,123 @@
+"""Monitors over the ShardedKernel merged record stream (ISSUE 9).
+
+The sharded path runs its per-cell workers under a disabled obs
+context and replays the merged result — ``cells.partition`` /
+``cells.admit`` instants, merged counters, and one ``kernel.round``
+instant per committed (job, round) on the merged clock — into the
+ambient recorder. These tests pin that the full monitor catalogue
+accepts that stream, that the cell-imbalance detector is actually fed
+by it, and that at ``cells=1`` (which delegates to the flat
+``run_policy``) the monitored stream is byte-identical to the flat
+path's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import run_sharded
+from repro.cluster import testbed_cluster as _testbed_cluster
+from repro.harness.experiments import make_loaded_workload, make_problem
+from repro.kernel import run_policy
+from repro.obs import Obs, default_monitors, replay_monitors, use
+from repro.schedulers import create
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cluster = _testbed_cluster()
+    jobs = make_loaded_workload(
+        10, reference_gpus=cluster.num_gpus, load=1.5, seed=3
+    )
+    return cluster, make_problem(cluster, jobs)
+
+
+def _recorded(fn):
+    """Run *fn* under a recording obs context, return its records."""
+    obs = Obs.start(trace=False, record=True)
+    with use(obs):
+        fn()
+    return obs.recorder.records()
+
+
+def _record_keys(records):
+    """Byte-comparable view of a record stream.
+
+    ``"wall"`` records time host code (scheduler solve latency) and
+    differ between two runs of the *same* path, so they are no part of
+    the equivalence contract — same carve-out as the array-kernel
+    suite's counter comparison.
+    """
+    return [
+        (
+            r.kind, r.category, r.name, r.track, r.time, r.duration,
+            tuple(sorted(r.args.items())),
+        )
+        for r in records
+        if r.kind != "wall"
+    ]
+
+
+class TestMergedStreamMonitors:
+    def test_multi_cell_stream_passes_default_monitors(self, workload):
+        cluster, instance = workload
+        records = _recorded(
+            lambda: run_sharded(instance, "hare", cells=4, cluster=cluster)
+        )
+        report = replay_monitors(
+            records, default_monitors(instance), instance=instance
+        )
+        assert report.records_seen == len(records) > 0
+        assert "cell_load_imbalance" in report.monitors
+        assert report.invariant_violations() == []
+
+    def test_admission_instants_feed_the_imbalance_monitor(self, workload):
+        cluster, instance = workload
+        records = _recorded(
+            lambda: run_sharded(instance, "hare", cells=4, cluster=cluster)
+        )
+        partitions = [r for r in records if r.name == "cells.partition"]
+        admits = [r for r in records if r.name == "cells.admit"]
+        assert len(partitions) == 1
+        assert partitions[0].args["cells"] == 4
+        assert len(admits) == instance.num_jobs
+        assert all("work_s" in r.args and "cell" in r.args for r in admits)
+
+    def test_merged_rounds_cover_every_committed_round(self, workload):
+        """One kernel.round instant per (job, round) on the merged
+        clock — the attribution engine's food supply."""
+        cluster, instance = workload
+        records = _recorded(
+            lambda: run_sharded(instance, "hare", cells=4, cluster=cluster)
+        )
+        rounds = [r for r in records if r.name == "kernel.round"]
+        assert len(rounds) == sum(j.num_rounds for j in instance.jobs)
+        keys = {(r.args["job"], r.args["round"]) for r in rounds}
+        assert len(keys) == len(rounds)  # no duplicates
+        # merged-clock ordering: replay is sorted by round end
+        ends = [r.args["end"] for r in rounds]
+        assert ends == sorted(ends)
+
+    def test_cells1_stream_and_findings_match_flat_path(self, workload):
+        """cells=1 delegates to run_policy: the recorded stream and the
+        monitor diagnosis must be byte-identical to the flat path."""
+        cluster, instance = workload
+        sched = create("hare")
+        flat = _recorded(
+            lambda: run_policy(instance, sched.make_policy(instance))
+        )
+        via_cells = _recorded(
+            lambda: run_sharded(instance, "hare", cells=1)
+        )
+        assert _record_keys(via_cells) == _record_keys(flat)
+        reports = [
+            replay_monitors(
+                recs, default_monitors(instance), instance=instance
+            )
+            for recs in (flat, via_cells)
+        ]
+        assert reports[0].monitors == reports[1].monitors
+        assert [f.to_json() for f in reports[0].findings] == [
+            f.to_json() for f in reports[1].findings
+        ]
+        assert reports[0].invariant_violations() == []

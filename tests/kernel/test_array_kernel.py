@@ -255,6 +255,57 @@ class TestBatchTieBreakOrder:
         validate_schedule(ref.schedule)
 
 
+class TestAttributionEquivalence:
+    """Satellite (ISSUE 9): the attribution report is byte-identical
+    across backends. ``kernel.round`` instants feed the attribution
+    engine, so equal reports pin the whole chain — emission order,
+    float arithmetic, and the decomposition — for every registered
+    scheduler."""
+
+    @staticmethod
+    def _attribution_json(instance, policy, *, backend, **kw):
+        import json
+
+        from repro.obs.attrib import attribute_records
+
+        obs = Obs.start(trace=False, record=True)
+        _run(instance, policy, backend=backend, obs=obs, **kw)
+        report = attribute_records(
+            obs.recorder.records(), instance=instance
+        )
+        assert report.check() == []
+        return json.dumps(report.to_json(), sort_keys=True)
+
+    @given(inst=instances())
+    @settings(max_examples=10, deadline=None)
+    def test_reports_byte_identical_on_random_instances(self, inst):
+        for sched in SCHEDULERS:
+            ref = self._attribution_json(
+                inst, sched.make_policy(inst), backend="reference"
+            )
+            arr = self._attribution_json(
+                inst, sched.make_policy(inst), backend="array"
+            )
+            assert arr == ref, sched.name
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reports_byte_identical_under_faults(self, seed):
+        inst = make_random_instance(
+            seed + 40, max_jobs=6, max_gpus=3, max_rounds=4, max_scale=2
+        )
+        sched = create("hare_online")
+        kw = dict(
+            crashes=[(1.5, 1)], restores=[(4.0, 1)], replan_interval=2.0
+        )
+        ref = self._attribution_json(
+            inst, sched.make_policy(inst), backend="reference", **kw
+        )
+        arr = self._attribution_json(
+            inst, sched.make_policy(inst), backend="array", **kw
+        )
+        assert arr == ref
+
+
 class _PastCommitPolicy(Policy):
     """Commits job 0's round 0 with *past* start times when job 1
     arrives at t=5 — the barrier wake for that round (computed t=1)

@@ -185,3 +185,139 @@ class TestAnalysisCommands:
         text = capsys.readouterr().out
         assert rc == 0
         assert "diagnosis OK" in text
+
+    def test_replay_monitors_gate_corrupted_log_exits_1(
+        self, tmp_path, capsys
+    ):
+        """Satellite pin (ISSUE 9): ``replay --monitors`` is a CI gate —
+        a flight log with an invariant violation (here, a duplicated
+        compute span double-booking its GPU) must exit non-zero."""
+        import json
+
+        log = tmp_path / "flight.jsonl"
+        assert main(["record", *self.WORKLOAD, "--out", str(log)]) == 0
+        capsys.readouterr()
+        # clone a real gpu compute span, shift it to overlap the original
+        lines = log.read_text().splitlines()
+        spans = [
+            json.loads(line)
+            for line in lines[1:]
+            if '"kind": "span"' in line and '"track": "gpu/' in line
+        ]
+        victim = next(s for s in spans if s.get("dur", 0.0) > 0)
+        victim["seq"] = 10**6
+        victim["t"] += victim["dur"] / 2  # lands inside itself
+        with log.open("a") as fh:
+            fh.write(json.dumps(victim, sort_keys=True) + "\n")
+        rc = main(["replay", str(log), "--monitors", "--limit", "0"])
+        text = capsys.readouterr().out
+        assert rc == 1
+        assert "double-booked" in text
+
+
+class TestExplainCommand:
+    """``repro explain``: run / --flight-log / --diff modes."""
+
+    WORKLOAD = ["--jobs", "4", "--gpus", "4", "--seed", "3",
+                "--rounds-scale", "0.1"]
+
+    def test_explain_run_prints_decomposition(self, tmp_path, capsys):
+        out = tmp_path / "attrib.json"
+        rc = main(["explain", *self.WORKLOAD, "--out", str(out)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "where the JCT went" in text
+        assert "critical path" in text
+        assert "dominant" in text
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.attrib/1"
+        assert len(doc["jobs"]) == 4
+
+    def test_explain_crash_run_shows_fault_recovery(self, capsys):
+        rc = main(
+            ["explain", *self.WORKLOAD, "--scheduler", "hare_online",
+             "--crash", "1:1", "--replan-interval", "2"]
+        )
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "retraction" in text
+
+    def test_explain_flight_log_mode(self, tmp_path, capsys):
+        log = tmp_path / "flight.jsonl"
+        assert main(
+            ["record", *self.WORKLOAD, "--arrivals", "streaming",
+             "--out", str(log)]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["explain", "--flight-log", str(log)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "where the JCT went" in text
+        # a streaming log carries kernel.round instants, so the
+        # decomposition is populated, not a vacuous empty report
+        assert "4 of 4 jobs" in text
+        assert "compute" in text
+
+    def test_explain_planned_flight_log_exits_2_with_hint(
+        self, tmp_path, capsys
+    ):
+        # planned-arrival logs carry no kernel.round instants; the CLI
+        # must refuse loudly instead of printing an empty report
+        log = tmp_path / "flight.jsonl"
+        assert main(["record", *self.WORKLOAD, "--out", str(log)]) == 0
+        capsys.readouterr()
+        rc = main(["explain", "--flight-log", str(log)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "kernel.round" in err
+        assert "--arrivals streaming" in err
+
+    def test_explain_diff_reproduces_delta(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        assert main(
+            ["explain", *self.WORKLOAD, "--out", str(base)]
+        ) == 0
+        assert main(
+            ["explain", "--jobs", "4", "--gpus", "4", "--seed", "4",
+             "--rounds-scale", "0.1", "--scheduler", "srtf",
+             "--out", str(cand)]
+        ) == 0
+        capsys.readouterr()
+        diff_out = tmp_path / "diff.json"
+        rc = main(
+            ["explain", "--diff", str(base), str(cand),
+             "--out", str(diff_out)]
+        )
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "attribution diff" in text and "total JCT" in text
+        import json
+        import math
+
+        doc = json.loads(diff_out.read_text())
+        assert doc["schema"] == "repro.attrib-diff/1"
+        # exit 0 pins it, but assert the algebra explicitly too
+        assert abs(
+            doc["total_jct_delta_s"]
+            - math.fsum(doc["component_delta_s"].values())
+        ) <= 1e-6
+
+    def test_explain_missing_flight_log_exits_2(self, tmp_path, capsys):
+        rc = main(
+            ["explain", "--flight-log", str(tmp_path / "nope.jsonl")]
+        )
+        assert rc == 2
+
+    def test_explain_diff_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(
+            ["explain", "--diff", str(tmp_path / "a.json"),
+             str(tmp_path / "b.json")]
+        )
+        assert rc == 2
+
+    def test_explain_unknown_scheduler_exits_2(self, capsys):
+        rc = main(["explain", *self.WORKLOAD, "--scheduler", "mystery"])
+        assert rc == 2
